@@ -1,0 +1,83 @@
+"""Ablation — does the §3.1 three-bin sort actually help load balance?
+
+The paper's argument: launching unsorted contigs makes a few heavy warps
+(3000-read contigs) stall the light ones sharing their scheduling groups.
+We measure it with the simulator's per-warp instruction counts:
+
+* **imbalance** — max/mean warp instructions within a launch;
+* **group-stall efficiency** — warps are scheduled in groups (blocks);
+  a group retires when its slowest warp does, so modelled group time is
+  ``sum over groups of max(inst in group)`` and efficiency is
+  ``sum(inst) / (group_size * that)``.
+
+Binning should raise efficiency of each launch vs one mixed launch.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.analysis.reporting import format_table
+from repro.core.config import LocalAssemblyConfig
+from repro.core.driver import GpuLocalAssembler
+from repro.core.extension_kernel import extension_task_kernel_v2
+from repro.core.gpu_batch import pack_batch
+from repro.gpusim.kernel import GpuContext
+
+CFG = LocalAssemblyConfig(k_init=21, max_walk_len=150)
+GROUP = 8  # warps co-scheduled per block in the stall model
+
+
+def _group_efficiency(per_warp_inst) -> float:
+    arr = np.asarray(per_warp_inst, dtype=float)
+    if arr.size == 0 or arr.sum() == 0:
+        return 1.0
+    pad = (-arr.size) % GROUP
+    arr = np.concatenate([arr, np.zeros(pad)])
+    groups = arr.reshape(-1, GROUP)
+    stall_time = groups.max(axis=1).sum() * GROUP
+    return float(arr.sum() / stall_time)
+
+
+def bench_ablation_binning(benchmark, driver_workload):
+    tasks = driver_workload
+
+    def run_both():
+        # binned: the real driver (separate bin2/bin3 launches)
+        binned = GpuLocalAssembler(CFG).run(tasks)
+        # unbinned: every task (including zero-read ones) in one launch
+        ctx = GpuContext()
+        batch = pack_batch(ctx, list(tasks), CFG)
+        unbinned = ctx.launch(
+            "unbinned", extension_task_kernel_v2, len(batch.tasks), batch,
+            np.arange(len(batch.tasks)),
+        )
+        return binned, unbinned
+
+    binned, unbinned = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    binned_effs = []
+    for l in binned.launches:
+        eff = _group_efficiency(l.per_warp_inst)
+        binned_effs.append((eff, l.n_warps))
+        rows.append((l.name, l.n_warps, round(l.warp_imbalance(), 1), round(eff, 3)))
+    un_eff = _group_efficiency(unbinned.per_warp_inst)
+    rows.append(("unbinned (all tasks)", unbinned.n_warps,
+                 round(unbinned.warp_imbalance(), 1), round(un_eff, 3)))
+
+    weighted_binned_eff = sum(e * n for e, n in binned_effs) / sum(n for _, n in binned_effs)
+    text = "\n\n".join(
+        [
+            format_table(
+                ["launch", "warps", "imbalance (max/mean)", "group efficiency"],
+                rows,
+                "Ablation — binning vs one mixed launch (group stall model)",
+            ),
+            f"warp-weighted binned efficiency: {weighted_binned_eff:.3f} "
+            f"vs unbinned {un_eff:.3f}",
+        ]
+    )
+    record("ablation_binning", text)
+
+    assert binned.extensions is not None
+    assert weighted_binned_eff > un_eff  # binning reduces group stalls

@@ -1,0 +1,84 @@
+"""Figures 8 & 9 — Instruction Roofline of the v1 and v2 extension kernels.
+
+Paper (single V100, arcticsynth dump): the v2 (warp-per-table) kernel's
+L1 dot moves up-and-right relative to v1 (thread-per-table): higher warp
+GIPS (peak 14.4), better instruction intensity, reduced (but still large)
+thread predication; both kernels sit near the stride-1 memory wall because
+hash probing is random access.
+
+Reproduced by running both simulated kernels on the same local-assembly
+dump and deriving roofline coordinates from the instruction/transaction
+counters and the V100 timing model.
+"""
+
+from conftest import record
+
+from repro.analysis.reporting import paper_vs_measured
+from repro.core.config import LocalAssemblyConfig
+from repro.core.driver import GpuLocalAssembler
+from repro.gpusim.device import V100
+from repro.gpusim.kernel import LaunchResult
+from repro.gpusim.roofline import render_roofline, roofline_point
+from repro.gpusim.timing import TimingModel
+
+CFG = LocalAssemblyConfig(k_init=21, max_walk_len=150)
+
+
+def _merged_point(report, name):
+    """Roofline point of the merged launch counters.
+
+    The paper's standalone runs offload enough contigs to saturate the
+    V100 and amortise launch overhead, so the point is evaluated at
+    saturating occupancy on busy (issue/memory) time alone — the
+    laptop-scale dump itself holds only a handful of warps.
+    """
+    from repro.gpusim.timing import KernelTiming
+
+    counters = report.merged_counters()
+    base = TimingModel(V100).kernel_timing(counters, V100.saturation_warps)
+    busy = max(base.issue_time_s, base.mem_time_s)
+    timing = KernelTiming(
+        time_s=busy,
+        issue_time_s=base.issue_time_s,
+        mem_time_s=base.mem_time_s,
+        occupancy=1.0,
+        bound=base.bound,
+    )
+    return roofline_point(
+        LaunchResult(
+            name=name, n_warps=V100.saturation_warps, counters=counters, timing=timing
+        )
+    )
+
+
+def bench_fig08_09_roofline(benchmark, kernel_workload):
+    def run_both():
+        r2 = GpuLocalAssembler(CFG, kernel_version="v2").run(kernel_workload)
+        r1 = GpuLocalAssembler(CFG, kernel_version="v1").run(kernel_workload)
+        return r1, r2
+
+    r1, r2 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    p1 = _merged_point(r1, "v1 thread-per-table")
+    p2 = _merged_point(r2, "v2 warp-per-table")
+
+    text = "\n\n".join(
+        [
+            render_roofline([p1, p2], V100),
+            paper_vs_measured(
+                "Figs 8/9 — roofline comparison (shape)",
+                [
+                    ("v2 GIPS > v1 GIPS", "yes (14.4 peak v2)", f"{p2.gips:.2f} vs {p1.gips:.2f}"),
+                    ("v2 intensity > v1", "yes (dot moves right)", f"{p2.intensity:.3f} vs {p1.intensity:.3f}"),
+                    ("predication v2 < v1", "moderate decrease", f"{100*p2.predication_ratio:.0f}% vs {100*p1.predication_ratio:.0f}%"),
+                    ("both near stride-1 wall", "yes (random hash access)", f"{p1.nearest_wall()} / {p2.nearest_wall()}"),
+                    ("far below peak (489.6)", "yes for both", f"{p1.gips:.1f}, {p2.gips:.1f}"),
+                ],
+            ),
+        ]
+    )
+    record("fig08_09_roofline", text)
+
+    assert p2.gips > p1.gips
+    assert p2.intensity > p1.intensity
+    assert p2.predication_ratio < p1.predication_ratio
+    assert p1.gips < V100.peak_warp_gips and p2.gips < V100.peak_warp_gips

@@ -1,0 +1,61 @@
+"""Extension bench — node-level multi-GPU local assembly (§4.3 mapping).
+
+A Summit node runs 6 V100s with 42 ranks (``--ranks-per-gpu=7`` in the
+paper's artifact); the driver performs the device-to-rank mapping.  This
+bench measures the node-level behaviour of our work-balanced task
+partitioning: wall time (slowest GPU) for 1 vs 6 GPUs, and the balance of
+the partition for intermediate GPU counts.
+"""
+
+from conftest import record
+
+from repro.analysis.reporting import format_table
+from repro.core.config import LocalAssemblyConfig
+from repro.core.ht_sizing import table_slots
+from repro.core.multi_gpu import NodeLocalAssembler, partition_tasks_by_work
+
+CFG = LocalAssemblyConfig(k_init=21, max_walk_len=150)
+
+
+def bench_node_scaling(benchmark, driver_workload):
+    tasks = driver_workload
+
+    def run_nodes():
+        one = NodeLocalAssembler(CFG, n_gpus=1).run(tasks)
+        six = NodeLocalAssembler(CFG, n_gpus=6).run(tasks)
+        return one, six
+
+    one, six = benchmark.pedantic(run_nodes, rounds=1, iterations=1)
+    assert one.extensions == six.extensions
+
+    rows = [
+        (1, f"{one.wall_time_s * 1e3:.2f}", f"{one.balance:.2f}", "1.00x"),
+        (6, f"{six.wall_time_s * 1e3:.2f}", f"{six.balance:.2f}",
+         f"{one.wall_time_s / six.wall_time_s:.2f}x"),
+    ]
+    # partition balance (work proxy) for intermediate GPU counts
+    part_rows = []
+    for g in (2, 3, 4, 6):
+        groups = partition_tasks_by_work(tasks, g)
+        loads = [sum(table_slots(tasks[i]) for i in grp) for grp in groups]
+        part_rows.append((g, max(loads), min(loads),
+                          f"{(sum(loads) / g) / max(loads):.2f}"))
+
+    text = "\n\n".join(
+        [
+            format_table(
+                ["GPUs", "node wall (ms)", "time balance", "speedup"],
+                rows,
+                "Extension — node-level local assembly (modelled V100 times)",
+            ),
+            format_table(
+                ["GPUs", "max load", "min load", "work balance (mean/max)"],
+                part_rows,
+                "work-balanced device-to-rank partition (table-slot proxy)",
+            ),
+        ]
+    )
+    record("node_scaling", text)
+
+    assert six.wall_time_s <= one.wall_time_s
+    assert six.balance > 0.3  # partition is not degenerate

@@ -1,0 +1,61 @@
+"""Extension bench — measured k-mer exchange volumes vs rank count.
+
+The pipeline's distributed stages are communication-dominated at scale
+(§4.4); the functional rank simulator lets us *measure* the k-mer
+all-to-all volume on a real dataset instead of assuming it.  The expected
+shape: the fraction of k-mer records leaving their home rank rises as
+``(R-1)/R`` with the rank count R (hash partitioning sends each record to
+a uniformly random owner), saturating quickly — which is why the exchange
+stops strong-scaling early.
+"""
+
+from conftest import record
+
+from repro.analysis.reporting import format_table
+from repro.distributed.rank import RankSimulator, partition_reads
+from repro.pipeline.kmer_counts import count_kmers
+
+RANKS = (1, 2, 4, 8, 16)
+
+
+def bench_rank_exchange(benchmark, workload):
+    reads = workload["reads"]
+
+    def sweep():
+        out = []
+        for r in RANKS:
+            local_records = sum(
+                len(count_kmers(p, 21)) for p in partition_reads(reads, r)
+            )
+            merged, stats = RankSimulator(r).distributed_count(reads, 21)
+            out.append((r, local_records, stats, len(merged)))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    n_distinct = rows[0][3]
+    table_rows = []
+    for r, local_records, stats, n_merged in rows:
+        assert n_merged == n_distinct  # invariant: same spectrum at any R
+        frac = stats.total_kmers_sent / max(local_records, 1)
+        table_rows.append(
+            (r, stats.total_kmers_sent,
+             f"{(r - 1) / r:.2f}", f"{frac:.2f}",
+             f"{stats.bytes_per_rank_max / 1e6:.2f}",
+             f"{stats.modelled_time_s * 1e3:.3f}")
+        )
+    text = format_table(
+        ["ranks", "records sent", "expected off-rank frac", "measured frac",
+         "max MB/rank", "modelled ms"],
+        table_rows,
+        "Extension — measured k-mer exchange vs rank count (hash partition)",
+    )
+    record("rank_exchange", text)
+
+    sents = [row[2].total_kmers_sent for row in rows]
+    assert sents[0] == 0  # a single rank sends nothing
+    assert all(a < b for a, b in zip(sents, sents[1:]))  # rising volume
+    # measured off-rank fraction tracks (R-1)/R within 10 points
+    for (r, local_records, stats, _) in rows[1:]:
+        frac = stats.total_kmers_sent / local_records
+        assert abs(frac - (r - 1) / r) < 0.10

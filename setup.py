@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Exists so `pip install -e .` works in offline environments: without a
+[build-system] table in pyproject.toml, pip takes the legacy setup.py
+editable-install path and never tries to download build dependencies.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""Experiment reporting helpers shared by the benchmark harness.
+
+Every bench prints a "paper vs reproduced" table through these helpers so
+EXPERIMENTS.md entries and bench output stay consistent in format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "paper_vs_measured", "format_fractions"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width text table (no external deps)."""
+    cols = len(headers)
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(r[i].rjust(widths[i]) for i in range(cols)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Sequence[tuple[str, object, object]],
+) -> str:
+    """Three-column comparison: quantity, paper value, reproduced value."""
+    return format_table(
+        ["quantity", "paper", "reproduced"],
+        [(name, paper, measured) for name, paper, measured in rows],
+        title=title,
+    )
+
+
+def format_fractions(fractions: dict[str, float], title: str | None = None) -> str:
+    """Render a stage->fraction dict as a percentage list (pie-chart text)."""
+    lines = [title] if title else []
+    for name, frac in sorted(fractions.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<20}{100 * frac:>6.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Assembly quality statistics (N50 and friends).
+
+Used by tests and examples to check that the pipeline produces sane
+assemblies and that local assembly actually improves contiguity — the
+paper's whole premise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AssemblyStats", "assembly_stats", "nx", "genome_fraction"]
+
+
+@dataclass(frozen=True)
+class AssemblyStats:
+    """Summary statistics of a set of sequences."""
+
+    n_seqs: int
+    total_bases: int
+    min_len: int
+    max_len: int
+    mean_len: float
+    n50: int
+    n90: int
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n_seqs} total={self.total_bases} "
+            f"min={self.min_len} mean={self.mean_len:.0f} max={self.max_len} "
+            f"N50={self.n50} N90={self.n90}"
+        )
+
+
+def nx(lengths: np.ndarray, x: float) -> int:
+    """The Nx statistic: the length L such that sequences of length >= L
+    cover at least x fraction of the total bases."""
+    if not 0 < x <= 1:
+        raise ValueError("x must be in (0, 1]")
+    lengths = np.sort(np.asarray(lengths, dtype=np.int64))[::-1]
+    if lengths.size == 0:
+        return 0
+    target = x * lengths.sum()
+    csum = np.cumsum(lengths)
+    idx = int(np.searchsorted(csum, target))
+    return int(lengths[min(idx, lengths.size - 1)])
+
+
+def assembly_stats(seqs: list[str] | np.ndarray) -> AssemblyStats:
+    """Compute :class:`AssemblyStats` for sequences or a length array."""
+    if len(seqs) and isinstance(seqs[0], str):
+        lengths = np.array([len(s) for s in seqs], dtype=np.int64)
+    else:
+        lengths = np.asarray(seqs, dtype=np.int64)
+    if lengths.size == 0:
+        return AssemblyStats(0, 0, 0, 0, 0.0, 0, 0)
+    return AssemblyStats(
+        n_seqs=int(lengths.size),
+        total_bases=int(lengths.sum()),
+        min_len=int(lengths.min()),
+        max_len=int(lengths.max()),
+        mean_len=float(lengths.mean()),
+        n50=nx(lengths, 0.5),
+        n90=nx(lengths, 0.9),
+    )
+
+
+def genome_fraction(contigs: list[str], genome: str, k: int = 31) -> float:
+    """Fraction of the genome's k-mers recovered by the contigs.
+
+    A cheap reference-based completeness measure (QUAST-like genome
+    fraction, k-mer flavoured): both strands of the contigs count.
+    """
+    from repro.sequence.dna import revcomp
+    from repro.sequence.kmer import iter_kmers
+
+    genome_kmers = set(iter_kmers(genome, k))
+    if not genome_kmers:
+        return 0.0
+    found: set[str] = set()
+    for c in contigs:
+        for km in iter_kmers(c, k):
+            if km in genome_kmers:
+                found.add(km)
+            else:
+                rc = revcomp(km)
+                if rc in genome_kmers:
+                    found.add(rc)
+    return len(found) / len(genome_kmers)

@@ -1,0 +1,95 @@
+"""Workload characterisation for local-assembly task sets.
+
+The paper's design decisions are driven by workload statistics — the
+reads-per-contig distribution (binning, §3.1), total candidate-read bases
+(hash-table memory, §3.2), and walk-length variability (warp stalling,
+§2.4).  This module extracts those statistics from a
+:class:`~repro.core.tasks.TaskSet` (and optionally a CPU run) so datasets
+can be characterised and compared, and so the scale models can be fed
+measured rather than assumed distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LocalAssemblyConfig
+from repro.core.ht_sizing import SLOT_BYTES, table_slots
+from repro.core.tasks import TaskSet
+
+__all__ = ["WorkloadProfile", "profile_tasks"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of a local-assembly workload."""
+
+    n_tasks: int
+    n_contigs: int
+    n_candidate_reads: int
+    total_read_bases: int
+    #: percentiles of candidate reads per contig: (50, 90, 99, max)
+    reads_per_contig_p50: float
+    reads_per_contig_p90: float
+    reads_per_contig_p99: float
+    reads_per_contig_max: int
+    #: fraction of contigs with zero candidates (the bin-1 population)
+    zero_read_fraction: float
+    #: fraction of total work (read bases) carried by the top 1% contigs
+    top1pct_work_fraction: float
+    #: total device memory the packed tables need
+    table_bytes: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_contigs} contigs / {self.n_tasks} tasks; "
+            f"{self.n_candidate_reads} candidate reads "
+            f"({self.total_read_bases} bases); "
+            f"reads/contig p50={self.reads_per_contig_p50:.0f} "
+            f"p90={self.reads_per_contig_p90:.0f} "
+            f"p99={self.reads_per_contig_p99:.0f} max={self.reads_per_contig_max}; "
+            f"{100 * self.zero_read_fraction:.1f}% zero-read; "
+            f"top-1% contigs carry {100 * self.top1pct_work_fraction:.1f}% of work; "
+            f"tables need {self.table_bytes / 1e6:.1f} MB"
+        )
+
+
+def profile_tasks(
+    tasks: TaskSet, config: LocalAssemblyConfig | None = None
+) -> WorkloadProfile:
+    """Characterise a task set."""
+    del config  # reserved for future threshold-sensitive statistics
+    reads_per_contig = tasks.reads_per_contig()
+    counts = np.array(sorted(reads_per_contig.values()), dtype=np.int64)
+    if counts.size == 0:
+        return WorkloadProfile(
+            n_tasks=0, n_contigs=0, n_candidate_reads=0, total_read_bases=0,
+            reads_per_contig_p50=0.0, reads_per_contig_p90=0.0,
+            reads_per_contig_p99=0.0, reads_per_contig_max=0,
+            zero_read_fraction=0.0, top1pct_work_fraction=0.0, table_bytes=0,
+        )
+
+    work_per_contig: dict[int, int] = {}
+    total_bases = 0
+    for t in tasks:
+        work_per_contig[t.cid] = work_per_contig.get(t.cid, 0) + t.total_read_bases
+        total_bases += t.total_read_bases
+    work = np.array(sorted(work_per_contig.values()))[::-1]
+    top_n = max(1, int(np.ceil(0.01 * work.size)))
+    top_frac = float(work[:top_n].sum() / work.sum()) if work.sum() else 0.0
+
+    return WorkloadProfile(
+        n_tasks=len(tasks),
+        n_contigs=int(counts.size),
+        n_candidate_reads=int(counts.sum()),
+        total_read_bases=total_bases,
+        reads_per_contig_p50=float(np.percentile(counts, 50)),
+        reads_per_contig_p90=float(np.percentile(counts, 90)),
+        reads_per_contig_p99=float(np.percentile(counts, 99)),
+        reads_per_contig_max=int(counts.max()),
+        zero_read_fraction=float(np.count_nonzero(counts == 0) / counts.size),
+        top1pct_work_fraction=top_frac,
+        table_bytes=int(sum(table_slots(t) for t in tasks)) * SLOT_BYTES,
+    )

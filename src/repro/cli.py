@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Synthesise a metagenome community: interleaved paired-end FASTQ,
+    reference genomes FASTA and an abundance table.
+``assemble``
+    Assemble an interleaved FASTQ end to end (CPU or simulated-GPU local
+    assembly); writes contigs/scaffolds FASTA and a stage-time report
+    (including the "file IO" stage, measured around the actual reads).
+``stats``
+    N50-style statistics for FASTA files.
+``scale``
+    Print the Summit-scale projections (Figs 13/14 tables and the Fig 2
+    stage shares) for the WA or arcticsynth profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SC'21 GPU metagenome local-assembly reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a community + reads")
+    gen.add_argument("--out", type=Path, required=True, help="output directory")
+    gen.add_argument("--preset", choices=["arcticsynth", "wa"], default="arcticsynth")
+    gen.add_argument("--genomes", type=int, default=4)
+    gen.add_argument("--genome-length", type=int, default=20_000)
+    gen.add_argument("--pairs", type=int, default=5_000)
+    gen.add_argument("--seed", type=int, default=0)
+
+    asm = sub.add_parser("assemble", help="assemble an interleaved FASTQ")
+    asm.add_argument("reads", type=Path, help="interleaved paired-end FASTQ(.gz)")
+    asm.add_argument("--out", type=Path, required=True, help="output directory")
+    asm.add_argument("--k", type=int, nargs="+", default=[21], help="k-mer series")
+    asm.add_argument("--mode", choices=["cpu", "gpu"], default="cpu",
+                     help="local assembly implementation")
+    asm.add_argument("--min-kmer-count", type=int, default=2)
+    asm.add_argument("--no-scaffold", action="store_true")
+    asm.add_argument("--max-reads-per-end", type=int, default=3000,
+                     help="candidate-read cap per contig end (paper: 3000)")
+    asm.add_argument("--checkpoint", action="store_true",
+                     help="persist/reuse the contig-generation checkpoint "
+                          "in the output directory (MHM2 --checkpoint)")
+
+    st = sub.add_parser("stats", help="assembly statistics for FASTA files")
+    st.add_argument("fastas", type=Path, nargs="+")
+
+    dmp = sub.add_parser(
+        "dump-localassm",
+        help="run the pipeline up to alignment and dump the local-assembly "
+             "inputs (the paper's §4.1 standalone methodology)",
+    )
+    dmp.add_argument("reads", type=Path, help="interleaved paired-end FASTQ(.gz)")
+    dmp.add_argument("--out", type=Path, required=True, help="output .npz dump")
+    dmp.add_argument("--k", type=int, default=21)
+
+    la = sub.add_parser(
+        "localassm",
+        help="run local assembly standalone on a dump (CPU or simulated GPU)",
+    )
+    la.add_argument("dump", type=Path, help=".npz dump from dump-localassm")
+    la.add_argument("--mode", choices=["cpu", "gpu"], default="gpu")
+    la.add_argument("--kernel", choices=["v1", "v2"], default="v2")
+    la.add_argument("--k-init", type=int, default=21)
+
+    sc = sub.add_parser("scale", help="Summit-scale projections")
+    sc.add_argument("--dataset", choices=["wa", "arcticsynth"], default="wa")
+    sc.add_argument("--nodes", type=int, nargs="+", default=None)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.sequence import (
+        arcticsynth_like,
+        sample_paired_reads,
+        wa_like,
+        write_fasta,
+    )
+    from repro.sequence.fastq import save_read_batch
+
+    rng = np.random.default_rng(args.seed)
+    maker = arcticsynth_like if args.preset == "arcticsynth" else wa_like
+    community = maker(rng, n_genomes=args.genomes, genome_length=args.genome_length)
+    reads = sample_paired_reads(community, args.pairs, rng)
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    n = save_read_batch(args.out / "reads.fastq", reads)
+    write_fasta(args.out / "refs.fasta", [(g.name, g.seq) for g in community.genomes])
+    with open(args.out / "abundances.tsv", "w") as fh:
+        fh.write("genome\tlength\tabundance\n")
+        for g, a in zip(community.genomes, community.abundances):
+            fh.write(f"{g.name}\t{len(g)}\t{a:.6f}\n")
+    print(f"wrote {n} reads, {len(community.genomes)} reference genomes -> {args.out}")
+    return 0
+
+
+def _cmd_assemble(args: argparse.Namespace) -> int:
+    from repro.core.config import LocalAssemblyConfig
+    from repro.pipeline import PipelineConfig, StageTimes, run_pipeline
+    from repro.sequence.fastq import load_read_batch, write_fasta
+
+    times = StageTimes()
+    try:
+        with times.stage("file IO"):
+            reads = load_read_batch(args.reads, paired=True)
+    except ValueError as exc:
+        print(f"error: {args.reads} is not interleaved paired-end FASTQ ({exc})",
+              file=sys.stderr)
+        return 2
+    print(f"loaded {len(reads):,} reads from {args.reads}")
+
+    config = PipelineConfig(
+        k_series=tuple(args.k),
+        min_kmer_count=args.min_kmer_count,
+        local_assembly_mode=args.mode,
+        local_assembly=LocalAssemblyConfig(max_reads_per_end=args.max_reads_per_end),
+        run_scaffolding=not args.no_scaffold,
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    ckpt = str(args.out) if args.checkpoint else None
+    result = run_pipeline(reads, config, times=times, checkpoint_dir=ckpt)
+
+    with times.stage("file IO"):
+        write_fasta(
+            args.out / "contigs.fasta",
+            ((f"contig_{c.cid} depth={c.depth:.1f}", c.seq) for c in result.contigs),
+        )
+        if result.scaffolds is not None:
+            write_fasta(
+                args.out / "scaffolds.fasta",
+                ((f"scaffold_{s.sid}", s.seq) for s in result.scaffolds.scaffolds),
+            )
+    report = result.summary()
+    (args.out / "report.txt").write_text(report + "\n")
+    print(report)
+    print(f"\noutputs -> {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis import assembly_stats
+    from repro.sequence.fastq import read_fasta
+
+    for path in args.fastas:
+        seqs = [seq for _, seq in read_fasta(path)]
+        print(f"{path}: {assembly_stats(seqs)}")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.analysis import format_fractions, format_table
+    from repro.distributed import (
+        ARCTICSYNTH_PROFILE,
+        PAPER_NODES,
+        WA_PROFILE,
+        SummitScaleModel,
+        la_scaling_table,
+        pipeline_scaling_table,
+    )
+
+    profile = WA_PROFILE if args.dataset == "wa" else ARCTICSYNTH_PROFILE
+    nodes = tuple(args.nodes) if args.nodes else (
+        PAPER_NODES if args.dataset == "wa" else (2, 4, 8)
+    )
+    model = SummitScaleModel(profile=profile)
+
+    rows = [
+        (r.nodes, f"{r.cpu_s:.1f}", f"{r.gpu_s:.1f}", f"{r.speedup:.2f}x")
+        for r in la_scaling_table(nodes=nodes, profile=profile)
+    ]
+    print(format_table(["nodes", "CPU LA (s)", "GPU LA (s)", "speedup"], rows,
+                       f"local assembly strong scaling ({profile.name})"))
+    print()
+    rows = [
+        (r.nodes, f"{r.cpu_s:.0f}", f"{r.gpu_s:.0f}", f"{100 * (r.speedup - 1):.0f}%")
+        for r in pipeline_scaling_table(nodes=nodes, profile=profile)
+    ]
+    print(format_table(["nodes", "pipeline CPU-LA (s)", "pipeline GPU-LA (s)", "gain"],
+                       rows, f"whole-pipeline strong scaling ({profile.name})"))
+    print()
+    ref = profile.ref_nodes
+    print(format_fractions(model.profile_fractions(ref, False),
+                           f"stage shares @{ref} nodes (CPU local assembly)"))
+    return 0
+
+
+def _cmd_dump_localassm(args: argparse.Namespace) -> int:
+    from repro.core.dump import save_tasks
+    from repro.core.tasks import tasks_from_candidates
+    from repro.pipeline import align_reads, analyze_kmers, generate_contigs, merge_read_pairs
+    from repro.sequence.fastq import load_read_batch
+
+    reads = load_read_batch(args.reads, paired=True)
+    merged, _ = merge_read_pairs(reads)
+    classified = analyze_kmers(merged, args.k, min_count=2, min_depth=2)
+    contigs = generate_contigs(classified)
+    aln = align_reads(contigs, reads)
+    tasks = tasks_from_candidates(
+        {c.cid: c.seq for c in contigs}, aln.candidates.values()
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    save_tasks(args.out, tasks)
+    print(f"dumped {len(tasks)} extension tasks "
+          f"({len(contigs)} contigs, k={args.k}) -> {args.out}")
+    return 0
+
+
+def _cmd_localassm(args: argparse.Namespace) -> int:
+    from repro.core.binning import bin_contigs
+    from repro.core.config import LocalAssemblyConfig
+    from repro.core.dump import load_tasks
+    from repro.core.local_assembler import extend_tasks
+
+    tasks = load_tasks(args.dump)
+    config = LocalAssemblyConfig(k_init=args.k_init)
+    bins = bin_contigs(tasks, config)
+    f1, f2, f3 = bins.fractions()
+    print(f"{len(tasks)} tasks; bins: {100*f1:.1f}% / {100*f2:.1f}% / {100*f3:.2f}%")
+
+    _, report = extend_tasks(
+        tasks, config=config, mode=args.mode, kernel_version=args.kernel
+    )
+    print(f"{report.n_extended} ends extended "
+          f"(+{report.total_extension_bases} bp) in {report.wall_time_s:.2f} s wall")
+    if report.gpu_report is not None:
+        g = report.gpu_report
+        c = g.merged_counters()
+        print(f"kernel {args.kernel}: {c.warp_inst:,} warp inst, "
+              f"{c.total_transactions:,} transactions, "
+              f"{100*c.predication_ratio:.1f}% predicated")
+        print(f"modelled V100 time {g.total_time_s*1e3:.2f} ms, "
+              f"{g.n_batches} batch(es), "
+              f"{g.high_water_bytes/1e6:.1f} MB device high-water")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "assemble": _cmd_assemble,
+    "stats": _cmd_stats,
+    "scale": _cmd_scale,
+    "dump-localassm": _cmd_dump_localassm,
+    "localassm": _cmd_localassm,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `repro scale | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

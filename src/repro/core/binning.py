@@ -1,0 +1,87 @@
+"""Contig binning for load balance (§3.1 of the paper).
+
+Contigs are sorted into three bins by candidate-read count:
+
+* **bin 1** — zero reads: returned immediately, never offloaded;
+* **bin 2** — fewer than ``bin2_max_reads`` (paper: 10) reads: little work
+  per contig; launched as its own kernel so short tasks do not share warps
+  with long ones;
+* **bin 3** — everything else: typically <1% of contigs but most of the
+  compute; launched first so the GPU's latency-hiding has the most work
+  available (§4.3).
+
+Without binning, a warp processing a 3000-read contig would stall warps
+processing zero-read contigs scheduled alongside it — the warp-divergence
+pathology the paper calls out.  The ablation bench quantifies this with
+the divergence counters of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LocalAssemblyConfig
+from repro.core.tasks import TaskSet
+
+__all__ = ["ContigBins", "bin_contigs", "bin_distribution"]
+
+
+@dataclass(frozen=True)
+class ContigBins:
+    """Contig ids per bin, plus the per-contig read counts used to bin."""
+
+    bin1: tuple[int, ...]
+    bin2: tuple[int, ...]
+    bin3: tuple[int, ...]
+    reads_per_contig: dict[int, int]
+
+    @property
+    def n_contigs(self) -> int:
+        return len(self.bin1) + len(self.bin2) + len(self.bin3)
+
+    def fractions(self) -> tuple[float, float, float]:
+        """(bin1, bin2, bin3) fractions of all contigs — Fig 3's y-axis."""
+        n = self.n_contigs
+        if n == 0:
+            return (0.0, 0.0, 0.0)
+        return (len(self.bin1) / n, len(self.bin2) / n, len(self.bin3) / n)
+
+    def work_fractions(self) -> tuple[float, float, float]:
+        """Fraction of candidate *reads* (work proxy) per bin."""
+        totals = [0, 0, 0]
+        for b, ids in enumerate((self.bin1, self.bin2, self.bin3)):
+            totals[b] = sum(self.reads_per_contig[c] for c in ids)
+        total = sum(totals)
+        if total == 0:
+            return (0.0, 0.0, 0.0)
+        return tuple(t / total for t in totals)  # type: ignore[return-value]
+
+
+def bin_contigs(tasks: TaskSet, config: LocalAssemblyConfig | None = None) -> ContigBins:
+    """Assign each contig to a bin by its total candidate-read count."""
+    config = config or LocalAssemblyConfig()
+    counts = tasks.reads_per_contig()
+    bin1: list[int] = []
+    bin2: list[int] = []
+    bin3: list[int] = []
+    for cid in tasks.contig_ids():
+        n = counts[cid]
+        if n == 0:
+            bin1.append(cid)
+        elif n < config.bin2_max_reads:
+            bin2.append(cid)
+        else:
+            bin3.append(cid)
+    return ContigBins(
+        bin1=tuple(bin1),
+        bin2=tuple(bin2),
+        bin3=tuple(bin3),
+        reads_per_contig=counts,
+    )
+
+
+def bin_distribution(
+    bins_by_k: dict[int, ContigBins]
+) -> dict[int, tuple[float, float, float]]:
+    """Per-k bin fractions — the series plotted in the paper's Figure 3."""
+    return {k: b.fractions() for k, b in sorted(bins_by_k.items())}

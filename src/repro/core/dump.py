@@ -1,0 +1,108 @@
+"""Local-assembly input dumps (the paper's §4.1 standalone methodology).
+
+"For standalone runs we used the arcticsynth dataset and processed it
+through the MetaHipMer pipeline to dump the contigs and their candidate
+reads that are input to the local assembly module.  This data dump was
+then used to evaluate the performance of the GPU local-assembly kernels."
+
+:func:`save_tasks` / :func:`load_tasks` persist a :class:`TaskSet` to one
+``.npz`` file (flat packed arrays — the exact structure-of-arrays layout
+the device batches use), so kernel studies can be decoupled from pipeline
+runs and reproduced bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.tasks import ExtensionTask, TaskSet
+
+__all__ = ["save_tasks", "load_tasks", "DUMP_FORMAT_VERSION"]
+
+DUMP_FORMAT_VERSION = 1
+
+
+def save_tasks(path: str | Path, tasks: TaskSet) -> None:
+    """Serialise a task set to a compressed ``.npz`` dump."""
+    cids = np.array([t.cid for t in tasks], dtype=np.int64)
+    sides = np.array([t.side for t in tasks], dtype=np.int8)
+    contig_lens = np.array([t.contig.size for t in tasks], dtype=np.int64)
+    contig_offsets = np.zeros(len(tasks) + 1, dtype=np.int64)
+    np.cumsum(contig_lens, out=contig_offsets[1:])
+    contigs = (
+        np.concatenate([t.contig for t in tasks])
+        if len(tasks)
+        else np.empty(0, dtype=np.uint8)
+    )
+
+    n_reads = np.array([t.n_reads for t in tasks], dtype=np.int64)
+    task_read_start = np.zeros(len(tasks) + 1, dtype=np.int64)
+    np.cumsum(n_reads, out=task_read_start[1:])
+    all_reads = [r for t in tasks for r in t.reads]
+    all_quals = [q for t in tasks for q in t.quals]
+    read_lens = np.array([r.size for r in all_reads], dtype=np.int64)
+    read_offsets = np.zeros(len(all_reads) + 1, dtype=np.int64)
+    np.cumsum(read_lens, out=read_offsets[1:])
+    reads = (
+        np.concatenate(all_reads) if all_reads else np.empty(0, dtype=np.uint8)
+    )
+    quals = (
+        np.concatenate(all_quals) if all_quals else np.empty(0, dtype=np.uint8)
+    )
+
+    np.savez_compressed(
+        path,
+        version=np.int64(DUMP_FORMAT_VERSION),
+        cids=cids,
+        sides=sides,
+        contig_offsets=contig_offsets,
+        contigs=contigs,
+        task_read_start=task_read_start,
+        read_offsets=read_offsets,
+        reads=reads,
+        quals=quals,
+    )
+
+
+def load_tasks(path: str | Path) -> TaskSet:
+    """Load a task set saved by :func:`save_tasks`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != DUMP_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dump version {version} "
+                f"(expected {DUMP_FORMAT_VERSION})"
+            )
+        cids = data["cids"]
+        sides = data["sides"]
+        contig_offsets = data["contig_offsets"]
+        contigs = data["contigs"]
+        task_read_start = data["task_read_start"]
+        read_offsets = data["read_offsets"]
+        reads = data["reads"]
+        quals = data["quals"]
+
+    tasks: list[ExtensionTask] = []
+    for i in range(cids.size):
+        contig = contigs[contig_offsets[i] : contig_offsets[i + 1]].copy()
+        r0, r1 = int(task_read_start[i]), int(task_read_start[i + 1])
+        t_reads = tuple(
+            reads[read_offsets[j] : read_offsets[j + 1]].copy()
+            for j in range(r0, r1)
+        )
+        t_quals = tuple(
+            quals[read_offsets[j] : read_offsets[j + 1]].copy()
+            for j in range(r0, r1)
+        )
+        tasks.append(
+            ExtensionTask(
+                cid=int(cids[i]),
+                side=int(sides[i]),
+                contig=contig,
+                reads=t_reads,
+                quals=t_quals,
+            )
+        )
+    return TaskSet(tasks)

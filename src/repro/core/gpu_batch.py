@@ -1,0 +1,184 @@
+"""Device-side batch layout for GPU local assembly.
+
+The driver packs a batch of extension tasks into flat device buffers
+(§3.2's memory-minimisation scheme):
+
+* ``reads_buf``/``quals_buf`` — all candidate reads back to back; hash
+  table keys are *pointers into this buffer* (Fig 6), never k-mer copies;
+* ``seq_buf`` — per task, the last ``k_max`` bases of the contig followed
+  by room for the extension the walks will append (sized exactly from the
+  k-shift round bound, so the GPU can never truncate a walk the CPU
+  would complete);
+* ``ht_ptr``/``ht_hi``/``ht_total`` — all per-task hash tables packed into
+  single allocations, located through the ``ht_sizes`` prefix offsets;
+* ``vis_ptr`` — the per-task visited tables used for loop detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LocalAssemblyConfig
+from repro.core.ht_sizing import HashTableLayout, plan_layout
+from repro.core.tasks import ExtensionTask
+from repro.gpusim.kernel import GpuContext
+from repro.gpusim.memory import DeviceArray
+
+__all__ = ["DeviceBatch", "max_rounds", "ext_capacity", "pack_batch", "EMPTY_PTR"]
+
+#: ht_ptr value marking an empty slot.
+EMPTY_PTR = np.int64(-1)
+
+
+def max_rounds(config: LocalAssemblyConfig) -> int:
+    """Upper bound on table-build rounds per task.
+
+    The k-shift machine moves monotonically up then terminates, or down
+    then terminates, so the round count is bounded by the number of k
+    values reachable upward plus downward plus the initial one.
+    """
+    up = (config.k_max - config.k_init) // config.k_step
+    down = (config.k_init - config.k_min) // config.k_step
+    return up + down + 1
+
+
+def ext_capacity(config: LocalAssemblyConfig) -> int:
+    """Per-task extension buffer size: every round may append a full walk."""
+    return max_rounds(config) * config.max_walk_len
+
+
+@dataclass
+class DeviceBatch:
+    """All device allocations + host metadata for one batch of tasks."""
+
+    tasks: list[ExtensionTask]
+    config: LocalAssemblyConfig
+    layout: HashTableLayout
+
+    # flat read data
+    reads_buf: DeviceArray
+    quals_buf: DeviceArray
+    read_offsets: np.ndarray  # host metadata: per-read start, len n_reads+1
+    task_read_start: np.ndarray  # per task: first read index, len n_tasks+1
+
+    # per-task sequence buffers (contig tail + extension space)
+    seq_buf: DeviceArray
+    seq_offsets: np.ndarray  # per task start in seq_buf
+    seq_len: np.ndarray  # host-tracked current length per task
+    tail_cap: int
+    ext_cap: int
+
+    # packed hash tables
+    ht_ptr: DeviceArray
+    ht_hi: DeviceArray  # shape (total_slots * 4,)
+    ht_total: DeviceArray
+
+    # visited tables
+    vis_ptr: DeviceArray
+    vis_slots: int
+
+    # outputs
+    out_ext_len: DeviceArray
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def ht_region(self, t: int) -> tuple[int, int]:
+        return self.layout.region(t)
+
+    def vis_region(self, t: int) -> tuple[int, int]:
+        return t * self.vis_slots, (t + 1) * self.vis_slots
+
+    def task_reads(self, t: int) -> range:
+        return range(int(self.task_read_start[t]), int(self.task_read_start[t + 1]))
+
+
+def pack_batch(
+    ctx: GpuContext,
+    tasks: list[ExtensionTask],
+    config: LocalAssemblyConfig,
+) -> DeviceBatch:
+    """Pack *tasks* into device buffers on *ctx* (counts transfer cost)."""
+    # reads
+    all_reads = [r for t in tasks for r in t.reads]
+    all_quals = [q for t in tasks for q in t.quals]
+    read_lengths = np.fromiter(
+        (r.size for r in all_reads), dtype=np.int64, count=len(all_reads)
+    )
+    read_offsets = np.zeros(len(all_reads) + 1, dtype=np.int64)
+    np.cumsum(read_lengths, out=read_offsets[1:])
+    reads_host = (
+        np.concatenate(all_reads) if all_reads else np.empty(0, dtype=np.uint8)
+    )
+    quals_host = (
+        np.concatenate(all_quals) if all_quals else np.empty(0, dtype=np.uint8)
+    )
+    task_read_start = np.zeros(len(tasks) + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter((t.n_reads for t in tasks), dtype=np.int64, count=len(tasks)),
+        out=task_read_start[1:],
+    )
+
+    # sequence buffers
+    tail_cap = config.k_max
+    e_cap = ext_capacity(config)
+    per_task_seq = tail_cap + e_cap
+    seq_offsets = np.arange(len(tasks) + 1, dtype=np.int64) * per_task_seq
+    seq_host = np.zeros(len(tasks) * per_task_seq, dtype=np.uint8)
+    seq_len = np.zeros(len(tasks), dtype=np.int64)
+    for i, t in enumerate(tasks):
+        tail = t.contig[-tail_cap:]
+        seq_host[seq_offsets[i] : seq_offsets[i] + tail.size] = tail
+        seq_len[i] = tail.size
+
+    layout = plan_layout(TaskListView(tasks))
+    total_slots = layout.total_slots
+
+    reads_buf = ctx.to_device(reads_host)
+    quals_buf = ctx.to_device(quals_host)
+    seq_buf = ctx.to_device(seq_host)
+    ht_ptr = ctx.alloc(total_slots, np.int64)
+    ht_ptr.data[...] = EMPTY_PTR
+    ht_hi = ctx.alloc(total_slots * 4, np.uint32)
+    ht_total = ctx.alloc(total_slots * 4, np.uint32)
+    vis_slots = 2 * config.max_walk_len
+    vis_ptr = ctx.alloc(len(tasks) * vis_slots, np.int64)
+    vis_ptr.data[...] = EMPTY_PTR
+    out_ext_len = ctx.alloc(max(len(tasks), 1), np.int32)
+
+    return DeviceBatch(
+        tasks=tasks,
+        config=config,
+        layout=layout,
+        reads_buf=reads_buf,
+        quals_buf=quals_buf,
+        read_offsets=read_offsets,
+        task_read_start=task_read_start,
+        seq_buf=seq_buf,
+        seq_offsets=seq_offsets,
+        seq_len=seq_len,
+        tail_cap=tail_cap,
+        ext_cap=e_cap,
+        ht_ptr=ht_ptr,
+        ht_hi=ht_hi,
+        ht_total=ht_total,
+        vis_ptr=vis_ptr,
+        vis_slots=vis_slots,
+        out_ext_len=out_ext_len,
+    )
+
+
+class TaskListView:
+    """Minimal TaskSet-shaped view over a plain task list (for layout)."""
+
+    def __init__(self, tasks: list) -> None:
+        self._tasks = tasks
+
+    def __iter__(self):
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)

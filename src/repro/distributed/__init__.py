@@ -1,0 +1,43 @@
+"""Simulated multi-node execution and Summit-scale models (see DESIGN.md §2)."""
+
+from repro.distributed.comm import CommCostModel
+from repro.distributed.rank import (
+    ExchangeStats,
+    RankSimulator,
+    merge_spectra,
+    partition_reads,
+)
+from repro.distributed.strong_scaling import (
+    PAPER_NODES,
+    ScalingRow,
+    la_scaling_table,
+    pipeline_scaling_table,
+)
+from repro.distributed.summit import (
+    ARCTICSYNTH_PROFILE,
+    WA_PROFILE,
+    DatasetProfile,
+    GpuLocalAssemblyScaleModel,
+    StageScaling,
+    SummitNodeSpec,
+    SummitScaleModel,
+)
+
+__all__ = [
+    "CommCostModel",
+    "ExchangeStats",
+    "RankSimulator",
+    "merge_spectra",
+    "partition_reads",
+    "PAPER_NODES",
+    "ScalingRow",
+    "la_scaling_table",
+    "pipeline_scaling_table",
+    "ARCTICSYNTH_PROFILE",
+    "WA_PROFILE",
+    "DatasetProfile",
+    "GpuLocalAssemblyScaleModel",
+    "StageScaling",
+    "SummitNodeSpec",
+    "SummitScaleModel",
+]

@@ -1,0 +1,167 @@
+"""Functional multi-rank simulation (the UPC++ substitute).
+
+MetaHipMer2 runs one UPC++ rank per core; reads are partitioned across
+ranks and the k-mer analysis stage hash-partitions k-mers so each rank
+owns a disjoint shard of the global spectrum.  This module reproduces that
+structure *functionally* at laptop scale:
+
+* :func:`partition_reads` splits an interleaved paired batch across ranks
+  (whole pairs, contiguous blocks — MHM2's file-splitting behaviour);
+* :class:`RankSimulator` runs per-rank k-mer counting, performs the
+  hash-partitioned exchange (measuring the exchanged volume), merges the
+  shards, and checks against the single-process spectrum.
+
+The invariant tested is the one MHM2 relies on: the distributed spectrum
+is exactly the spectrum of the union of the reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.comm import CommCostModel
+from repro.pipeline.kmer_counts import KmerSpectrum, count_kmers
+from repro.sequence.read import ReadBatch
+
+__all__ = ["partition_reads", "ExchangeStats", "RankSimulator", "merge_spectra"]
+
+
+def partition_reads(batch: ReadBatch, n_ranks: int) -> list[ReadBatch]:
+    """Split a paired batch into *n_ranks* contiguous pair-aligned parts."""
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    n_pairs = len(batch) // 2 if batch.paired else len(batch)
+    unit = 2 if batch.paired else 1
+    bounds = np.linspace(0, n_pairs, n_ranks + 1).astype(np.int64)
+    parts = []
+    for r in range(n_ranks):
+        idx = np.arange(bounds[r] * unit, bounds[r + 1] * unit)
+        part = batch.subset(idx)
+        # subset drops pairedness; restore it (blocks are pair-aligned).
+        parts.append(
+            ReadBatch(part.bases, part.quals, part.offsets, part.names, paired=batch.paired)
+        )
+    return parts
+
+
+@dataclass
+class ExchangeStats:
+    """Volume and modelled time of the k-mer all-to-all."""
+
+    n_ranks: int
+    total_kmers_sent: int
+    bytes_per_rank_max: int
+    modelled_time_s: float
+
+
+def merge_spectra(shards: list[KmerSpectrum], k: int) -> KmerSpectrum:
+    """Merge per-rank spectra (disjoint or overlapping) into one.
+
+    Overlapping keys have their counts and extension tallies summed — the
+    reduction MHM2's distributed hash table performs on insert.
+    """
+    non_empty = [s for s in shards if len(s)]
+    if not non_empty:
+        import numpy as _np
+
+        from repro.sequence.kmer import words_per_kmer
+
+        nw = words_per_kmer(k)
+        e = _np.zeros((0, 5), dtype=_np.int64)
+        return KmerSpectrum(
+            k, _np.empty((0, nw), dtype=_np.uint64), _np.zeros(0, dtype=_np.int64), e, e
+        )
+    words = np.concatenate([s.words for s in non_empty])
+    counts = np.concatenate([s.counts for s in non_empty])
+    left = np.concatenate([s.left_ext for s in non_empty])
+    right = np.concatenate([s.right_ext for s in non_empty])
+    nw = words.shape[1]
+    order = np.lexsort(tuple(words[:, w] for w in range(nw - 1, -1, -1)))
+    words, counts, left, right = words[order], counts[order], left[order], right[order]
+    new_group = np.ones(words.shape[0], dtype=bool)
+    new_group[1:] = np.any(words[1:] != words[:-1], axis=1)
+    gid = np.cumsum(new_group) - 1
+    n_groups = int(gid[-1]) + 1
+    m_counts = np.zeros(n_groups, dtype=np.int64)
+    np.add.at(m_counts, gid, counts)
+    m_left = np.zeros((n_groups, 5), dtype=np.int64)
+    m_right = np.zeros((n_groups, 5), dtype=np.int64)
+    np.add.at(m_left, gid, left)
+    np.add.at(m_right, gid, right)
+    return KmerSpectrum(
+        k=k, words=words[new_group], counts=m_counts, left_ext=m_left, right_ext=m_right
+    )
+
+
+class RankSimulator:
+    """Runs the distributed k-mer analysis pattern over simulated ranks."""
+
+    #: bytes on the wire per k-mer record: packed words + count + 2x5 exts.
+    RECORD_BYTES_BASE = 8 + 8 + 2 * 5 * 4
+
+    def __init__(self, n_ranks: int, comm: CommCostModel | None = None) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self.comm = comm or CommCostModel()
+
+    def owner_of(self, words: np.ndarray) -> np.ndarray:
+        """Destination rank of each k-mer: hash-partition on word 0."""
+        mix = (words[:, 0] * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(33)
+        return (mix % np.uint64(self.n_ranks)).astype(np.int64)
+
+    def distributed_count(
+        self, batch: ReadBatch, k: int, min_count: int = 1
+    ) -> tuple[KmerSpectrum, ExchangeStats]:
+        """Count k-mers the distributed way: local count, exchange, merge.
+
+        Returns the merged global spectrum (identical to the
+        single-process :func:`count_kmers` result, by the invariant the
+        tests enforce) and exchange statistics.
+        """
+        parts = partition_reads(batch, self.n_ranks)
+        local = [count_kmers(p, k, min_count=1) for p in parts]
+
+        # Exchange: each rank sends every locally-seen k-mer record to its
+        # owner rank.  We tally the per-rank outgoing volume.
+        record_bytes = self.RECORD_BYTES_BASE
+        sent_per_rank = np.zeros(self.n_ranks, dtype=np.int64)
+        shards_in: list[list[KmerSpectrum]] = [[] for _ in range(self.n_ranks)]
+        total_sent = 0
+        for r, spec in enumerate(local):
+            if not len(spec):
+                continue
+            owners = self.owner_of(spec.words)
+            for dest in range(self.n_ranks):
+                mask = owners == dest
+                n = int(np.count_nonzero(mask))
+                if n == 0:
+                    continue
+                if dest != r:
+                    sent_per_rank[r] += n * record_bytes
+                    total_sent += n
+                shards_in[dest].append(
+                    KmerSpectrum(
+                        k=k,
+                        words=spec.words[mask],
+                        counts=spec.counts[mask],
+                        left_ext=spec.left_ext[mask],
+                        right_ext=spec.right_ext[mask],
+                    )
+                )
+
+        owned = [merge_spectra(shards, k) for shards in shards_in]
+        merged = merge_spectra(owned, k)
+        if min_count > 1:
+            merged = merged.filtered(min_count)
+
+        bytes_max = int(sent_per_rank.max()) if self.n_ranks > 1 else 0
+        stats = ExchangeStats(
+            n_ranks=self.n_ranks,
+            total_kmers_sent=total_sent,
+            bytes_per_rank_max=bytes_max,
+            modelled_time_s=self.comm.alltoall_time(bytes_max, self.n_ranks),
+        )
+        return merged, stats

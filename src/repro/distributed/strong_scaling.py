@@ -1,0 +1,58 @@
+"""Strong-scaling tables for Figs 13 and 14 (and the Fig 2 pies).
+
+Thin result-assembly layer over :class:`repro.distributed.summit.
+SummitScaleModel`; the benches print these rows next to the paper's
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.summit import SummitScaleModel, WA_PROFILE, DatasetProfile
+
+__all__ = ["ScalingRow", "la_scaling_table", "pipeline_scaling_table", "PAPER_NODES"]
+
+#: The node counts of the paper's Figs 13/14.
+PAPER_NODES = (64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One node count's comparison."""
+
+    nodes: int
+    cpu_s: float
+    gpu_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_s / self.gpu_s if self.gpu_s else float("inf")
+
+
+def la_scaling_table(
+    nodes: tuple[int, ...] = PAPER_NODES,
+    profile: DatasetProfile = WA_PROFILE,
+) -> list[ScalingRow]:
+    """Fig 13: local-assembly CPU vs GPU time per node count."""
+    model = SummitScaleModel(profile=profile)
+    return [
+        ScalingRow(nodes=n, cpu_s=model.la_cpu_time(n), gpu_s=model.la_gpu_time(n))
+        for n in nodes
+    ]
+
+
+def pipeline_scaling_table(
+    nodes: tuple[int, ...] = PAPER_NODES,
+    profile: DatasetProfile = WA_PROFILE,
+) -> list[ScalingRow]:
+    """Fig 14: whole-pipeline time with CPU vs GPU local assembly."""
+    model = SummitScaleModel(profile=profile)
+    return [
+        ScalingRow(
+            nodes=n,
+            cpu_s=model.pipeline_time(n, gpu_local_assembly=False),
+            gpu_s=model.pipeline_time(n, gpu_local_assembly=True),
+        )
+        for n in nodes
+    ]

@@ -1,0 +1,83 @@
+"""Device models for the SIMT simulator.
+
+The paper runs on NVIDIA V100s (Summit and Cori-GPU).  We model the handful
+of device parameters that its analysis actually uses:
+
+* warp width (32) and the theoretical peak warp-instruction rate
+  (489.6 warp GIPS for V100 — the paper's roofline ceiling, which equals
+  80 SMs x 4 warp schedulers x 1.53 GHz);
+* memory-transaction granularity (32-byte sectors at L1, the unit of the
+  Instruction Roofline's memory walls);
+* HBM capacity (16 GB — the §3.2 memory-budget constraint) and bandwidth;
+* a kernel-launch overhead and a maximum-resident-warp count, which drive
+  the "GPUs need enough work to hide latency" effect behind Fig 13's
+  speedup decay at scale.
+
+These are *model parameters*, not measurements; see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "V100", "WARP_SIZE"]
+
+#: Lanes per warp on all NVIDIA hardware the paper targets.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a simulated GPU."""
+
+    name: str
+    n_sms: int
+    schedulers_per_sm: int
+    clock_ghz: float
+    #: global (HBM) capacity in bytes — enforced by the allocator.
+    global_mem_bytes: int
+    #: HBM bandwidth in bytes/second.
+    mem_bandwidth_bytes: float
+    #: L1 sector size in bytes — one memory transaction moves one sector.
+    sector_bytes: int = 32
+    #: warps that must be resident to fully hide latency (per device).
+    saturation_warps: int = 80 * 64
+    #: fixed host-side cost of one kernel launch, seconds.
+    kernel_launch_overhead_s: float = 10e-6
+    #: host<->device copy bandwidth (PCIe/NVLink), bytes/second.
+    h2d_bandwidth_bytes: float = 40e9
+
+    @property
+    def peak_warp_gips(self) -> float:
+        """Theoretical peak warp instructions per second / 1e9.
+
+        For V100 this evaluates to 489.6 warp GIPS, matching the ceiling
+        drawn in the paper's Figures 8 and 9.
+        """
+        return self.n_sms * self.schedulers_per_sm * self.clock_ghz
+
+    @property
+    def peak_transactions_per_s(self) -> float:
+        """HBM transactions per second at full bandwidth."""
+        return self.mem_bandwidth_bytes / self.sector_bytes
+
+    def occupancy(self, n_warps: int) -> float:
+        """Fraction of latency-hiding capacity used by *n_warps* warps.
+
+        A floor of 2% keeps tiny launches from producing absurd times; the
+        shape (linear up to saturation) is the standard throughput model.
+        """
+        if n_warps <= 0:
+            return 0.02
+        return min(1.0, max(n_warps / self.saturation_warps, 0.02))
+
+
+#: NVIDIA V100-SXM2-16GB, as found in Summit nodes (6 per node).
+V100 = DeviceSpec(
+    name="V100-SXM2-16GB",
+    n_sms=80,
+    schedulers_per_sm=4,
+    clock_ghz=1.53,
+    global_mem_bytes=16 * 1024**3,
+    mem_bandwidth_bytes=900e9,
+)

@@ -1,0 +1,133 @@
+"""Kernel launching on the simulated device.
+
+A kernel is a Python callable ``fn(warp, warp_id, *args)``; a *launch* runs
+it once per warp.  Warps execute sequentially in the simulator (their
+results must be order-independent — guaranteed by the atomic-based kernel
+designs and checked by the differential tests), while counters accumulate
+as if they ran concurrently.  The timing model then prices the launch.
+
+:class:`GpuContext` owns the device, its allocator and the log of launches,
+playing the role of a CUDA stream + profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec, V100
+from repro.gpusim.memory import DeviceAllocator, DeviceArray
+from repro.gpusim.timing import KernelTiming, TimingModel
+from repro.gpusim.warp import Warp
+
+__all__ = ["LaunchResult", "GpuContext"]
+
+KernelFn = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Counters + modelled timing of one kernel launch."""
+
+    name: str
+    n_warps: int
+    counters: KernelCounters
+    timing: KernelTiming
+    #: warp instructions issued by each warp — the load-imbalance signal
+    #: the paper's §3.1 binning exists to control.
+    per_warp_inst: tuple[int, ...] = ()
+
+    def warp_imbalance(self) -> float:
+        """max/mean per-warp instructions (1.0 = perfectly balanced)."""
+        if not self.per_warp_inst:
+            return 1.0
+        import numpy as _np
+
+        arr = _np.asarray(self.per_warp_inst, dtype=float)
+        mean = arr.mean()
+        return float(arr.max() / mean) if mean > 0 else 1.0
+
+    @property
+    def time_s(self) -> float:
+        return self.timing.time_s
+
+    @property
+    def warp_gips(self) -> float:
+        return self.counters.warp_inst / self.timing.time_s / 1e9 if self.timing.time_s else 0.0
+
+
+@dataclass
+class GpuContext:
+    """A simulated GPU: device spec, allocator, launch log."""
+
+    device: DeviceSpec = V100
+    allocator: DeviceAllocator = None  # type: ignore[assignment]
+    timing_model: TimingModel = None  # type: ignore[assignment]
+    launches: list[LaunchResult] = field(default_factory=list)
+    transfer_bytes: int = 0
+    transfer_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.allocator is None:
+            self.allocator = DeviceAllocator(self.device.global_mem_bytes)
+        if self.timing_model is None:
+            self.timing_model = TimingModel(self.device)
+
+    # -- memory ----------------------------------------------------------------
+
+    def alloc(self, shape, dtype) -> DeviceArray:
+        return self.allocator.alloc(shape, dtype)
+
+    def to_device(self, host_array) -> DeviceArray:
+        """Copy host data in, accounting for transfer time."""
+        darr = self.allocator.to_device(host_array)
+        self.transfer_bytes += darr.nbytes
+        self.transfer_time_s += self.timing_model.transfer_time(darr.nbytes)
+        return darr
+
+    def from_device(self, darr: DeviceArray):
+        """Copy device data out (returns the host array)."""
+        self.transfer_bytes += darr.nbytes
+        self.transfer_time_s += self.timing_model.transfer_time(darr.nbytes)
+        return darr.data.copy()
+
+    # -- launching ----------------------------------------------------------------
+
+    def launch(self, name: str, kernel_fn: KernelFn, n_warps: int, *args) -> LaunchResult:
+        """Run *kernel_fn* for each of *n_warps* warps and price the launch."""
+        counters = KernelCounters()
+        counters.n_warps_launched = n_warps
+        per_warp: list[int] = []
+        for warp_id in range(n_warps):
+            before = counters.warp_inst
+            warp = Warp(counters, warp_id=warp_id, sector_bytes=self.device.sector_bytes)
+            kernel_fn(warp, warp_id, *args)
+            per_warp.append(counters.warp_inst - before)
+        timing = self.timing_model.kernel_timing(counters, n_warps)
+        result = LaunchResult(
+            name=name,
+            n_warps=n_warps,
+            counters=counters,
+            timing=timing,
+            per_warp_inst=tuple(per_warp),
+        )
+        self.launches.append(result)
+        return result
+
+    # -- aggregation -----------------------------------------------------------------
+
+    def total_kernel_time(self) -> float:
+        return sum(l.time_s for l in self.launches)
+
+    def total_time(self) -> float:
+        """Kernel + transfer time for everything this context has done."""
+        return self.total_kernel_time() + self.transfer_time_s
+
+    def merged_counters(self, name_prefix: str = "") -> KernelCounters:
+        """Merge counters across launches (optionally filtered by name)."""
+        merged = KernelCounters()
+        for l in self.launches:
+            if l.name.startswith(name_prefix):
+                merged.merge(l.counters)
+        return merged

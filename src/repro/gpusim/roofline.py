@@ -1,0 +1,119 @@
+"""Instruction Roofline model (Ding & Williams, PMBS'19) for simulated kernels.
+
+The paper's §4.2 characterises its v1 (thread-per-table) and v2
+(warp-per-table) kernels on an Instruction Roofline:
+
+* y-axis: billions of warp instructions per second (warp GIPS);
+* x-axis: instruction intensity — warp instructions per L1 memory
+  transaction;
+* ceilings: the theoretical peak issue rate (489.6 warp GIPS on V100) and
+  slanted memory-bandwidth ceilings (GIPS = intensity x GTXN/s);
+* vertical *memory walls* in the load/store-intensity domain marking how
+  coalesced the global accesses are: a fully-diverged gather produces 32
+  transactions per LDST instruction (the "stride-8/random" wall at
+  intensity 1/32), a unit-stride 4-byte access 4 transactions (the
+  "stride-1" wall at 1/4), and a broadcast 1 transaction (the "stride-0"
+  wall at 1);
+* the gap between plotted GIPS and the *non-predicated* dotted point
+  quantifies thread predication.
+
+:func:`roofline_point` derives all of these from a launch's counters and
+modelled time, and :func:`render_roofline` prints the text analogue of the
+paper's Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import WARP_SIZE, DeviceSpec
+from repro.gpusim.kernel import LaunchResult
+
+__all__ = ["RooflinePoint", "roofline_point", "render_roofline", "MEMORY_WALLS"]
+
+#: LDST-intensity positions of the Instruction Roofline memory walls
+#: (warp LDST instructions per transaction) for 4-byte accesses.
+MEMORY_WALLS = {
+    "random/stride-8": 1.0 / 32.0,
+    "stride-1": 1.0 / 4.0,
+    "stride-0 (broadcast)": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the Instruction Roofline."""
+
+    name: str
+    #: total-instruction intensity (solid dot): warp inst / L1 transactions
+    intensity: float
+    #: achieved warp GIPS (solid dot height)
+    gips: float
+    #: LDST-only intensity (open dot): memory inst / global transactions
+    ldst_intensity: float
+    #: non-predicated ceiling for this kernel (dotted line): GIPS if every
+    #: issued slot had been active
+    nonpredicated_gips: float
+    predication_ratio: float
+    bound: str
+    time_s: float
+
+    @property
+    def predication_gap(self) -> float:
+        """Ratio between the non-predicated line and the achieved dot."""
+        return self.nonpredicated_gips / self.gips if self.gips else float("inf")
+
+    def nearest_wall(self) -> str:
+        """Which coalescing wall the LDST dot sits closest to (log scale)."""
+        import math
+
+        best, best_d = "", float("inf")
+        for name, x in MEMORY_WALLS.items():
+            d = abs(math.log(max(self.ldst_intensity, 1e-12)) - math.log(x))
+            if d < best_d:
+                best, best_d = name, d
+        return best
+
+
+def roofline_point(result: LaunchResult) -> RooflinePoint:
+    """Compute the roofline coordinates of a launch."""
+    c: KernelCounters = result.counters
+    t = result.timing.time_s
+    gips = c.warp_inst / t / 1e9 if t else 0.0
+    # The dotted "non-predicated" line: instructions scaled up as if all 32
+    # lanes of every issue had been active.
+    active_frac = (c.thread_inst / (WARP_SIZE * c.warp_inst)) if c.warp_inst else 1.0
+    nonpred = gips / active_frac if active_frac > 0 else float("inf")
+    return RooflinePoint(
+        name=result.name,
+        intensity=c.instruction_intensity(),
+        gips=gips,
+        ldst_intensity=c.ldst_instruction_intensity(),
+        nonpredicated_gips=nonpred,
+        predication_ratio=c.predication_ratio,
+        bound=result.timing.bound,
+        time_s=t,
+    )
+
+
+def render_roofline(points: list[RooflinePoint], device: DeviceSpec) -> str:
+    """Text rendering of the Instruction Roofline (paper Figs 8/9 analogue)."""
+    lines = [
+        f"Instruction Roofline — {device.name}",
+        f"  Theoretical peak: {device.peak_warp_gips:.1f} warp GIPS",
+        f"  Memory ceiling:   {device.peak_transactions_per_s / 1e9:.1f} GTXN/s "
+        f"(GIPS = intensity x GTXN/s)",
+        "  Memory walls (LDST intensity): "
+        + ", ".join(f"{k}@{v:.3g}" for k, v in MEMORY_WALLS.items()),
+        "",
+        f"  {'kernel':<28}{'II':>8}{'GIPS':>9}{'LDST II':>9}"
+        f"{'no-pred GIPS':>14}{'pred%':>7}  bound/wall",
+    ]
+    for p in points:
+        lines.append(
+            f"  {p.name:<28}{p.intensity:>8.3f}{p.gips:>9.2f}"
+            f"{p.ldst_intensity:>9.3f}{p.nonpredicated_gips:>14.2f}"
+            f"{100 * p.predication_ratio:>6.1f}%  {p.bound}/{p.nearest_wall()}"
+        )
+    return "\n".join(lines)

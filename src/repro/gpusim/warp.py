@@ -1,0 +1,396 @@
+"""The warp execution context — the API simulated kernels are written against.
+
+A :class:`Warp` models one CUDA warp: 32 lanes executing in lockstep under
+an *active mask*.  Kernel code calls warp methods instead of reading NumPy
+arrays directly; every call
+
+* performs the operation functionally (lane-vectorised via NumPy),
+* issues exactly one warp instruction of the appropriate class (or ``n``
+  for the bulk arithmetic helpers),
+* records active/predicated lane slots, and
+* for memory operations, counts unique 32-byte sectors touched by the
+  active lanes as memory transactions.
+
+Divergence is expressed with :meth:`Warp.where`::
+
+    with warp.where(cond):          # lanes with cond False are masked off
+        warp.global_store(out, idx, vals)
+
+which is how an ``if`` inside a CUDA kernel behaves, and is what produces
+the thread-predication gap analysed in the paper's Figs 8/9.
+
+Atomic semantics: lanes are applied in ascending lane order, which is a
+legal (and deterministic) serialisation of the hardware's arbitrary one.
+Kernels must therefore be written (as the paper's are) so results do not
+depend on the arbitration order — the differential tests against the CPU
+implementation check exactly that.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import WARP_SIZE
+from repro.gpusim.memory import DeviceArray, count_sectors
+
+__all__ = ["Warp"]
+
+
+def _as_lane_array(value, dtype=np.int64) -> np.ndarray:
+    """Broadcast a scalar to a 32-lane array, or validate an array."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.full(WARP_SIZE, arr, dtype=dtype)
+    if arr.shape != (WARP_SIZE,):
+        raise ValueError(f"lane value must be scalar or shape (32,), got {arr.shape}")
+    return arr.astype(dtype, copy=False)
+
+
+class Warp:
+    """One simulated warp (32 lanes, lockstep, maskable)."""
+
+    __slots__ = ("counters", "sector_bytes", "mask", "_mask_stack", "warp_id")
+
+    def __init__(
+        self, counters: KernelCounters, warp_id: int = 0, sector_bytes: int = 32
+    ) -> None:
+        self.counters = counters
+        self.sector_bytes = sector_bytes
+        self.warp_id = warp_id
+        self.mask = np.ones(WARP_SIZE, dtype=bool)
+        self._mask_stack: list[np.ndarray] = []
+
+    # -- mask management ------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return int(np.count_nonzero(self.mask))
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.mask.any())
+
+    def lane_ids(self) -> np.ndarray:
+        """``[0..31]`` — the CUDA ``threadIdx.x % 32`` of each lane."""
+        return np.arange(WARP_SIZE)
+
+    @contextmanager
+    def where(self, cond) -> Iterator[None]:
+        """Divergence region: lanes where *cond* is False are masked off."""
+        cond = _as_lane_array(cond, dtype=bool)
+        self._mask_stack.append(self.mask)
+        self.mask = self.mask & cond
+        try:
+            yield
+        finally:
+            self.mask = self._mask_stack.pop()
+
+    @contextmanager
+    def single_lane(self, lane: int = 0) -> Iterator[None]:
+        """Mask all lanes except *lane* — the paper's DNA-walk mode (§3.4)."""
+        cond = np.zeros(WARP_SIZE, dtype=bool)
+        cond[lane] = True
+        self._mask_stack.append(self.mask)
+        self.mask = self.mask & cond
+        try:
+            yield
+        finally:
+            self.mask = self._mask_stack.pop()
+
+    # -- issue bookkeeping -----------------------------------------------------
+
+    def _issue(self, n: int = 1) -> None:
+        c = self.counters
+        active = self.active_count
+        c.warp_inst += n
+        c.thread_inst += n * active
+        c.predicated_off += n * (WARP_SIZE - active)
+
+    # -- arithmetic / control ----------------------------------------------------
+
+    def int_op(self, n: int = 1) -> None:
+        """Account for *n* integer ALU instructions (address math, compares)."""
+        self._issue(n)
+        self.counters.int_inst += n
+
+    def fp_op(self, n: int = 1) -> None:
+        """Account for *n* floating-point instructions."""
+        self._issue(n)
+        self.counters.fp_inst += n
+
+    def control_op(self, n: int = 1) -> None:
+        """Account for *n* control-flow instructions (branches, loop tests)."""
+        self._issue(n)
+        self.counters.control_inst += n
+
+    # -- global memory ----------------------------------------------------------
+
+    def global_load(self, darr: DeviceArray, idx) -> np.ndarray:
+        """Gather ``darr[idx]`` for active lanes; one LDG instruction.
+
+        Inactive lanes return 0 and generate no transactions.
+        """
+        idx = _as_lane_array(idx)
+        self._issue()
+        self.counters.global_ld_inst += 1
+        out = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
+        if self.any_active:
+            act = self.mask
+            flat = darr.data.reshape(-1)
+            out[act] = flat[idx[act]]
+            self.counters.global_ld_transactions += count_sectors(
+                darr.addresses(idx[act]), darr.itemsize, self.sector_bytes
+            )
+        return out
+
+    def _bulk_issue(self, n_inst: int, n_active_slots: int) -> None:
+        """Account *n_inst* instructions whose active lanes total
+        *n_active_slots* (bulk form of :meth:`_issue` for span helpers)."""
+        c = self.counters
+        c.warp_inst += n_inst
+        c.thread_inst += n_active_slots
+        c.predicated_off += n_inst * WARP_SIZE - n_active_slots
+
+    def _span_sectors(self, darr: DeviceArray, start: int, length: int) -> int:
+        """Sectors covered by a contiguous element span (coalesced)."""
+        if length <= 0:
+            return 0
+        first = darr.base_addr + start * darr.itemsize
+        last = darr.base_addr + (start + length) * darr.itemsize - 1
+        return int(last // self.sector_bytes - first // self.sector_bytes + 1)
+
+    def global_load_span(self, darr: DeviceArray, start: int, length: int) -> np.ndarray:
+        """Warp-cooperative contiguous load of ``darr[start:start+length]``.
+
+        Models a loop in which the 32 lanes stride over a contiguous span
+        (the coalesced pattern of the v2 kernel): ``ceil(length/32)`` LDG
+        instructions, fully-coalesced transactions.  Counting is done in
+        bulk (no per-chunk Python loop); the span is returned as a host
+        view.  The caller's current mask scales nothing — span helpers
+        model a converged warp loop.
+        """
+        length = int(length)
+        if length <= 0:
+            return darr.data.reshape(-1)[start:start]
+        n_inst = (length + WARP_SIZE - 1) // WARP_SIZE
+        self._bulk_issue(n_inst, length)
+        self.counters.global_ld_inst += n_inst
+        self.counters.global_ld_transactions += self._span_sectors(darr, start, length)
+        return darr.data.reshape(-1)[start : start + length]
+
+    def global_store_span(self, darr: DeviceArray, start: int, length: int, value) -> None:
+        """Warp-cooperative contiguous fill (memset-style, coalesced).
+
+        Used for hash-table initialisation between k-shift rounds — the
+        "GPU Initialize" box of the paper's Fig 4.
+        """
+        length = int(length)
+        if length <= 0:
+            return
+        n_inst = (length + WARP_SIZE - 1) // WARP_SIZE
+        self._bulk_issue(n_inst, length)
+        self.counters.global_st_inst += n_inst
+        self.counters.global_st_transactions += self._span_sectors(darr, start, length)
+        darr.data.reshape(-1)[start : start + length] = value
+
+    def global_gather_span(
+        self, darr: DeviceArray, starts: np.ndarray, nbytes: int, word_bytes: int = 8
+    ) -> None:
+        """Account a per-lane gather of *nbytes* bytes from byte offsets
+        *starts* (one span per active lane) — the key-comparison pattern:
+        each lane streams a stored k-mer out of the packed reads buffer.
+
+        Issues ``ceil(nbytes/word_bytes)`` LDG instructions.  Each
+        instruction generates its own L1 transactions — the sectors touched
+        by the active lanes' word-``w`` addresses (no dedup across
+        instructions, matching how the Instruction Roofline counts L1
+        traffic) — so scattered lanes pay up to 32 transactions per word.
+
+        ``word_bytes`` models access granularity: the optimised v2 kernel
+        streams keys as 8-byte words, while the naive v1 CPU port walks
+        them ``char``-by-``char`` (``word_bytes=1``), paying a full
+        scattered transaction set *per byte* — the §3.3/Fig 7 coalescing
+        motivation.  Data movement itself is done by the caller on the
+        host.
+        """
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            return
+        n_words = (nbytes + word_bytes - 1) // word_bytes
+        self._bulk_issue(n_words, n_words * self.active_count)
+        self.counters.global_ld_inst += n_words
+        starts = np.asarray(starts, dtype=np.int64)
+        act = starts[self.mask[: starts.size]] if starts.size == WARP_SIZE else starts
+        if act.size:
+            addrs = darr.base_addr + act
+            for w in range(n_words):
+                word_addrs = addrs + word_bytes * w
+                word_len = min(word_bytes, nbytes - word_bytes * w)
+                self.counters.global_ld_transactions += count_sectors(
+                    word_addrs, word_len, self.sector_bytes
+                )
+
+    def global_store(self, darr: DeviceArray, idx, values) -> None:
+        """Scatter *values* to ``darr[idx]`` for active lanes; one STG."""
+        idx = _as_lane_array(idx)
+        values = _as_lane_array(values, dtype=darr.data.dtype)
+        self._issue()
+        self.counters.global_st_inst += 1
+        if self.any_active:
+            act = self.mask
+            flat = darr.data.reshape(-1)
+            flat[idx[act]] = values[act]
+            self.counters.global_st_transactions += count_sectors(
+                darr.addresses(idx[act]), darr.itemsize, self.sector_bytes
+            )
+
+    # -- local (per-thread private) memory ---------------------------------------
+
+    def local_load(self, n: int = 1) -> None:
+        """Account for per-lane local-memory loads (spilled arrays/strings).
+
+        Local memory is interleaved per lane, so a warp access is always
+        coalesced: one transaction per 128-byte line, modelled as one
+        transaction per instruction per 4 active lanes.
+        """
+        self._issue(n)
+        self.counters.local_ld_inst += n
+        self.counters.local_transactions += n * max(1, self.active_count // 4)
+
+    def local_store(self, n: int = 1) -> None:
+        """Account for per-lane local-memory stores."""
+        self._issue(n)
+        self.counters.local_st_inst += n
+        self.counters.local_transactions += n * max(1, self.active_count // 4)
+
+    def account_bulk_store(
+        self, n_inst: int, active_slots: int, transactions: int
+    ) -> None:
+        """Modelling hook: account a lockstep bulk store phase.
+
+        Used by kernels that clear per-lane memory regions in lockstep
+        (e.g. the thread-per-table v1 kernel, where each lane memsets its
+        own hash-table region): the caller performs the data movement with
+        NumPy and supplies the issue/transaction totals it derived from
+        the region sizes.
+        """
+        self._bulk_issue(n_inst, active_slots)
+        self.counters.global_st_inst += n_inst
+        self.counters.global_st_transactions += transactions
+
+    # -- atomics -------------------------------------------------------------------
+
+    def atomic_cas(self, darr: DeviceArray, idx, compare, value) -> np.ndarray:
+        """``atomicCAS`` per active lane, applied in ascending lane order.
+
+        Returns the *old* value observed by each lane.  Lanes hitting the
+        same address serialise: later lanes observe earlier lanes' writes,
+        exactly as on hardware (with a deterministic arbitration order).
+        """
+        idx = _as_lane_array(idx)
+        compare = _as_lane_array(compare, dtype=darr.data.dtype)
+        value = _as_lane_array(value, dtype=darr.data.dtype)
+        self._issue()
+        self.counters.atomic_inst += 1
+        old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
+        if self.any_active:
+            flat = darr.data.reshape(-1)
+            act_lanes = np.nonzero(self.mask)[0]
+            for lane in act_lanes:
+                cur = flat[idx[lane]]
+                old[lane] = cur
+                if cur == compare[lane]:
+                    flat[idx[lane]] = value[lane]
+            self.counters.atomic_transactions += count_sectors(
+                darr.addresses(idx[self.mask]), darr.itemsize, self.sector_bytes
+            )
+            # Address conflicts replay the atomic on hardware.
+            n_unique = np.unique(idx[self.mask]).size
+            conflicts = len(act_lanes) - n_unique
+            if conflicts:
+                self.counters.labels["atomic_conflicts"] = (
+                    self.counters.labels.get("atomic_conflicts", 0) + conflicts
+                )
+        return old
+
+    def atomic_add(self, darr: DeviceArray, idx, value) -> np.ndarray:
+        """``atomicAdd`` per active lane (ascending lane order); returns old."""
+        idx = _as_lane_array(idx)
+        value = _as_lane_array(value, dtype=darr.data.dtype)
+        self._issue()
+        self.counters.atomic_inst += 1
+        old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
+        if self.any_active:
+            flat = darr.data.reshape(-1)
+            for lane in np.nonzero(self.mask)[0]:
+                old[lane] = flat[idx[lane]]
+                flat[idx[lane]] += value[lane]
+            self.counters.atomic_transactions += count_sectors(
+                darr.addresses(idx[self.mask]), darr.itemsize, self.sector_bytes
+            )
+        return old
+
+    def atomic_max(self, darr: DeviceArray, idx, value) -> np.ndarray:
+        """``atomicMax`` per active lane; returns old values."""
+        idx = _as_lane_array(idx)
+        value = _as_lane_array(value, dtype=darr.data.dtype)
+        self._issue()
+        self.counters.atomic_inst += 1
+        old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
+        if self.any_active:
+            flat = darr.data.reshape(-1)
+            for lane in np.nonzero(self.mask)[0]:
+                old[lane] = flat[idx[lane]]
+                flat[idx[lane]] = max(flat[idx[lane]], value[lane])
+            self.counters.atomic_transactions += count_sectors(
+                darr.addresses(idx[self.mask]), darr.itemsize, self.sector_bytes
+            )
+        return old
+
+    # -- warp intrinsics --------------------------------------------------------------
+
+    def shfl(self, values, src_lane: int) -> np.ndarray:
+        """``__shfl_sync``: broadcast lane *src_lane*'s value to all lanes.
+
+        This is how the walk thread shares the walk-accepted state with the
+        rest of its warp (§3.4).
+        """
+        values = np.asarray(values)
+        values = _as_lane_array(values, dtype=values.dtype if values.ndim else None or np.int64)
+        self._issue()
+        self.counters.shuffle_inst += 1
+        return np.full(WARP_SIZE, values[src_lane], dtype=values.dtype)
+
+    def ballot(self, pred) -> int:
+        """``__ballot_sync``: bitmask of active lanes where *pred* is true."""
+        pred = _as_lane_array(pred, dtype=bool)
+        self._issue()
+        self.counters.shuffle_inst += 1
+        bits = np.nonzero(pred & self.mask)[0]
+        return int(np.sum(1 << bits.astype(np.uint64))) if bits.size else 0
+
+    def match_any(self, values) -> np.ndarray:
+        """``__match_any_sync``: per-lane mask of lanes holding equal values.
+
+        Used by the paper to find *thread collisions* — lanes inserting the
+        same k-mer — so they can be synchronised around the winning lane's
+        initialisation (§3.3).  Inactive lanes get mask 0.
+        """
+        values = _as_lane_array(values, dtype=np.int64)
+        self._issue()
+        self.counters.shuffle_inst += 1
+        out = np.zeros(WARP_SIZE, dtype=np.uint64)
+        act = np.nonzero(self.mask)[0]
+        for lane in act:
+            same = act[values[act] == values[lane]]
+            out[lane] = np.sum(np.uint64(1) << same.astype(np.uint64))
+        return out
+
+    def sync(self) -> None:
+        """``__syncwarp`` over the current mask."""
+        self._issue()
+        self.counters.sync_inst += 1

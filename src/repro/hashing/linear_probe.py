@@ -1,0 +1,120 @@
+"""Open-addressing hash table with linear probing (NumPy-backed).
+
+This is the host-side counterpart of the warp-local GPU tables in
+``repro.core.warp_hashtable``: fixed capacity (no resizing — the GPU cannot
+reallocate, §3.2 of the paper), linear probing on collision, 64-bit keys.
+It exists so the probing/occupancy math can be unit- and property-tested in
+isolation from the SIMT machinery, and so CPU-side code can share the exact
+probe sequence with the kernels.
+
+Keys are ``uint64`` (a packed k-mer word or any 64-bit identity); the value
+payload is left to callers — the table maps key -> dense *slot index*, and
+callers maintain parallel value arrays indexed by slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearProbeTable", "EMPTY_KEY", "probe_distance_stats"]
+
+#: Sentinel marking an empty slot.  Real keys equal to the sentinel are
+#: rejected at insert; packed k-mers can never collide with it because the
+#: two low bits of a full 32-base word pattern make 0xFF..FF unreachable for
+#: any k not congruent to 0 mod 32; for safety we still validate.
+EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class LinearProbeTable:
+    """Fixed-capacity open-addressing table: key -> slot.
+
+    Parameters
+    ----------
+    capacity:
+        Number of slots.  The table never grows; inserting into a full
+        table raises ``RuntimeError`` (the paper avoids this by sizing
+        tables to a worst-case load factor of ~0.93, see
+        ``repro.core.ht_sizing``).
+    """
+
+    __slots__ = ("capacity", "keys", "n_items", "n_probes", "n_inserts")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.keys = np.full(self.capacity, EMPTY_KEY, dtype=np.uint64)
+        self.n_items = 0
+        # probe/insert counters for occupancy analysis and benches
+        self.n_probes = 0
+        self.n_inserts = 0
+
+    @property
+    def load_factor(self) -> float:
+        return self.n_items / self.capacity
+
+    def _start_slot(self, key: np.uint64, hash_value: int | None) -> int:
+        if hash_value is None:
+            # Cheap 64-bit mix (Fibonacci hashing) when the caller did not
+            # supply a murmur hash; kernels always supply murmur.
+            with np.errstate(over="ignore"):
+                h = (np.uint64(key) * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(32)
+            return int(h % np.uint64(self.capacity))
+        return int(hash_value % self.capacity)
+
+    def insert(self, key: int | np.uint64, hash_value: int | None = None) -> tuple[int, bool]:
+        """Insert *key*; returns ``(slot, inserted)``.
+
+        ``inserted`` is False when the key was already present (the caller
+        then updates counts in its value arrays — this mirrors the paper's
+        key-to-key comparison path).
+        """
+        key = np.uint64(key)
+        if key == EMPTY_KEY:
+            raise ValueError("key collides with EMPTY sentinel")
+        slot = self._start_slot(key, hash_value)
+        self.n_inserts += 1
+        for _ in range(self.capacity):
+            self.n_probes += 1
+            k = self.keys[slot]
+            if k == EMPTY_KEY:
+                self.keys[slot] = key
+                self.n_items += 1
+                return slot, True
+            if k == key:
+                return slot, False
+            slot = (slot + 1) % self.capacity
+        raise RuntimeError(f"table full (capacity={self.capacity})")
+
+    def lookup(self, key: int | np.uint64, hash_value: int | None = None) -> int:
+        """Slot of *key*, or ``-1`` when absent."""
+        key = np.uint64(key)
+        slot = self._start_slot(key, hash_value)
+        for _ in range(self.capacity):
+            k = self.keys[slot]
+            if k == EMPTY_KEY:
+                return -1
+            if k == key:
+                return slot
+            slot = (slot + 1) % self.capacity
+        return -1
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) >= 0
+
+    def __len__(self) -> int:
+        return self.n_items
+
+    def occupied_slots(self) -> np.ndarray:
+        """Indices of occupied slots (for inspection/testing)."""
+        return np.nonzero(self.keys != EMPTY_KEY)[0]
+
+
+def probe_distance_stats(table: LinearProbeTable) -> dict[str, float]:
+    """Mean probes per insert so far — collision-cost diagnostic."""
+    if table.n_inserts == 0:
+        return {"mean_probes_per_insert": 0.0, "load_factor": table.load_factor}
+    return {
+        "mean_probes_per_insert": table.n_probes / table.n_inserts,
+        "load_factor": table.load_factor,
+    }

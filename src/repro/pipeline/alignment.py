@@ -1,0 +1,239 @@
+"""Alignment stage: map reads onto contigs, recruit contig-end candidates.
+
+This stage feeds the paper's local assembly: "the reads that align to the
+ends of contigs are then used for extending the contigs in both directions"
+(§2.2).  It also produces the per-read placements the scaffolder uses.
+
+Method (seed-and-extend, as in MHM2's klign):
+
+1. index every ``seed_len``-mer of every contig (exact positions);
+2. for each read and strand, look up seed hits, group them by
+   ``(contig, diagonal)``;
+3. score each candidate diagonal with the ungapped kernel
+   (:mod:`repro.pipeline.aln_kernel`); keep alignments above identity and
+   overlap thresholds;
+4. a read whose projection hangs off a contig edge becomes a *candidate
+   read* for that end, stored pre-oriented so local assembly can treat
+   every extension as "extend rightward":
+
+   * right end: read oriented to contig strand;
+   * left end: reverse complement of that (because local assembly extends
+     the left end by walking right on the reverse-complemented contig).
+
+Each end keeps at most ``max_reads_per_end`` candidates — the paper's
+empirical cap of 3000 (§3.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pipeline.aln_kernel import AlnScore, ungapped_align
+from repro.pipeline.contigs import ContigSet
+from repro.sequence.dna import encode, revcomp_codes
+from repro.sequence.kmer import valid_kmer_mask
+from repro.sequence.read import ReadBatch
+
+__all__ = [
+    "ReadAlignment",
+    "CandidateReads",
+    "ContigCandidates",
+    "AlignmentResult",
+    "SeedIndex",
+    "align_reads",
+]
+
+#: The paper's empirical upper limit on candidate reads per contig end.
+MAX_READS_PER_END = 3000
+
+
+@dataclass(frozen=True)
+class ReadAlignment:
+    """Best placement of one read on one contig."""
+
+    read_idx: int
+    cid: int
+    #: contig coordinate of oriented-read position 0 (may be negative)
+    offset: int
+    #: True when the read aligned as its reverse complement
+    is_rc: bool
+    matches: int
+    mismatches: int
+    ov_len: int
+
+    @property
+    def identity(self) -> float:
+        return self.matches / self.ov_len if self.ov_len else 0.0
+
+
+@dataclass
+class CandidateReads:
+    """Candidate reads for one contig end, pre-oriented for extension."""
+
+    seqs: list[np.ndarray] = field(default_factory=list)
+    quals: list[np.ndarray] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+    def add(self, seq: np.ndarray, qual: np.ndarray) -> None:
+        self.seqs.append(seq)
+        self.quals.append(qual)
+
+
+@dataclass
+class ContigCandidates:
+    """Per-contig recruitment for local assembly."""
+
+    cid: int
+    left: CandidateReads = field(default_factory=CandidateReads)
+    right: CandidateReads = field(default_factory=CandidateReads)
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.left) + len(self.right)
+
+
+@dataclass
+class AlignmentResult:
+    """Everything the downstream stages need."""
+
+    alignments: list[ReadAlignment]
+    candidates: dict[int, ContigCandidates]
+    n_reads_aligned: int
+    n_seed_hits: int
+
+    def best_by_read(self) -> dict[int, ReadAlignment]:
+        """Best alignment per read (highest matches)."""
+        best: dict[int, ReadAlignment] = {}
+        for a in self.alignments:
+            cur = best.get(a.read_idx)
+            if cur is None or a.matches > cur.matches:
+                best[a.read_idx] = a
+        return best
+
+
+class SeedIndex:
+    """Exact-position index of all seed-length k-mers of a contig set."""
+
+    def __init__(self, contigs: ContigSet, seed_len: int = 17, stride: int = 1) -> None:
+        if seed_len < 8:
+            raise ValueError("seed_len must be >= 8")
+        self.seed_len = seed_len
+        self.stride = stride
+        self._index: dict[bytes, list[tuple[int, int]]] = defaultdict(list)
+        self.contig_codes: dict[int, np.ndarray] = {}
+        for c in contigs:
+            codes = encode(c.seq)
+            self.contig_codes[c.cid] = codes
+            valid = valid_kmer_mask(codes, seed_len)
+            for pos in range(0, codes.size - seed_len + 1, stride):
+                if not valid[pos]:
+                    continue
+                window = codes[pos : pos + seed_len]
+                self._index[window.tobytes()].append((c.cid, pos))
+
+    def hits(self, seed: np.ndarray) -> list[tuple[int, int]]:
+        return self._index.get(seed.tobytes(), [])
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+def _recruit(
+    cand: ContigCandidates,
+    aln: AlnScore,
+    contig_len: int,
+    oriented_seq: np.ndarray,
+    oriented_qual: np.ndarray,
+    max_reads_per_end: int,
+) -> None:
+    """File an aligned read under the contig end(s) it hangs off."""
+    projected_start = aln.offset
+    projected_end = aln.offset + oriented_seq.size
+    if projected_start < 0 and len(cand.left) < max_reads_per_end:
+        # Left-end candidate: flip so extension walks rightward on rc(contig).
+        cand.left.add(revcomp_codes(oriented_seq), oriented_qual[::-1].copy())
+    if projected_end > contig_len and len(cand.right) < max_reads_per_end:
+        cand.right.add(oriented_seq, oriented_qual)
+
+
+def align_reads(
+    contigs: ContigSet,
+    reads: ReadBatch,
+    seed_len: int = 17,
+    read_seed_stride: int = 8,
+    min_identity: float = 0.9,
+    min_overlap: int = 30,
+    max_reads_per_end: int = MAX_READS_PER_END,
+) -> AlignmentResult:
+    """Align every read against the contig set.
+
+    Returns per-read best placements plus per-contig-end candidate reads.
+    Every contig gets a :class:`ContigCandidates` entry (possibly with zero
+    reads) — the zero-read population is what the paper's bin 1 holds.
+    """
+    index = SeedIndex(contigs, seed_len=seed_len)
+    contig_len = {c.cid: len(c.seq) for c in contigs}
+    candidates = {c.cid: ContigCandidates(cid=c.cid) for c in contigs}
+    alignments: list[ReadAlignment] = []
+    n_seed_hits = 0
+    n_aligned = 0
+
+    for ridx in range(len(reads)):
+        fwd = reads.codes(ridx)
+        fq = reads.qual_codes(ridx)
+        if fwd.size < seed_len:
+            continue
+        best_per_contig: dict[int, tuple[AlnScore, bool]] = {}
+        for is_rc in (False, True):
+            oriented = revcomp_codes(fwd) if is_rc else fwd
+            # one O(n) pass replaces a per-seed N scan
+            valid_seed = valid_kmer_mask(oriented, seed_len)
+            seen_diag: set[tuple[int, int]] = set()
+            for rpos in range(0, oriented.size - seed_len + 1, read_seed_stride):
+                if not valid_seed[rpos]:
+                    continue
+                seed = oriented[rpos : rpos + seed_len]
+                for cid, cpos in index.hits(seed):
+                    n_seed_hits += 1
+                    diag = (cid, cpos - rpos)
+                    if diag in seen_diag:
+                        continue
+                    seen_diag.add(diag)
+                    aln = ungapped_align(index.contig_codes[cid], oriented, cpos, rpos)
+                    if aln.ov_len < min_overlap or aln.identity < min_identity:
+                        continue
+                    cur = best_per_contig.get(cid)
+                    if cur is None or aln.matches > cur[0].matches:
+                        best_per_contig[cid] = (aln, is_rc)
+        if not best_per_contig:
+            continue
+        n_aligned += 1
+        for cid, (aln, is_rc) in best_per_contig.items():
+            oriented = revcomp_codes(fwd) if is_rc else fwd
+            oq = fq[::-1].copy() if is_rc else fq
+            alignments.append(
+                ReadAlignment(
+                    read_idx=ridx,
+                    cid=cid,
+                    offset=aln.offset,
+                    is_rc=is_rc,
+                    matches=aln.matches,
+                    mismatches=aln.mismatches,
+                    ov_len=aln.ov_len,
+                )
+            )
+            _recruit(
+                candidates[cid], aln, contig_len[cid], oriented, oq, max_reads_per_end
+            )
+
+    return AlignmentResult(
+        alignments=alignments,
+        candidates=candidates,
+        n_reads_aligned=n_aligned,
+        n_seed_hits=n_seed_hits,
+    )

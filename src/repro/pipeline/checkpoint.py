@@ -1,0 +1,112 @@
+"""Stage checkpointing (MetaHipMer2's ``--checkpoint`` behaviour).
+
+MHM2 writes intermediate outputs per stage so a crashed or re-configured
+run can resume without redoing the expensive prefix.  We checkpoint the
+contig-generation output (the costly de Bruijn prefix: merge -> k-mer
+analysis -> contig generation); alignment onward depends on tunables that
+change more often and is recomputed.
+
+A checkpoint is only valid for the exact same reads and the same upstream
+parameters, enforced with a BLAKE2 digest over the packed read arrays and
+the relevant config fields — a stale checkpoint is ignored, never
+half-used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.pipeline.contigs import Contig, ContigSet
+from repro.sequence.read import ReadBatch
+
+if TYPE_CHECKING:
+    from repro.pipeline.pipeline import PipelineConfig
+
+__all__ = ["checkpoint_key", "save_contigs_checkpoint", "load_contigs_checkpoint"]
+
+_FILENAME = "contigs_checkpoint.npz"
+_META = "contigs_checkpoint.json"
+
+
+def checkpoint_key(reads: ReadBatch, config: "PipelineConfig") -> str:
+    """Digest identifying (reads, upstream parameters)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(reads.bases.tobytes())
+    h.update(reads.offsets.tobytes())
+    h.update(reads.quals.tobytes())
+    upstream = {
+        "k_series": list(config.k_series),
+        "min_kmer_count": config.min_kmer_count,
+        "min_depth": config.min_depth,
+        "min_kmer_qual": config.min_kmer_qual,
+        "min_contig_len": config.min_contig_len,
+    }
+    h.update(json.dumps(upstream, sort_keys=True).encode())
+    return h.hexdigest()
+
+
+def save_contigs_checkpoint(
+    directory: str | Path, contigs: ContigSet, key: str, n_distinct_kmers: int
+) -> None:
+    """Write the contig-generation checkpoint."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    from repro.sequence.dna import encode
+
+    cids = np.array([c.cid for c in contigs], dtype=np.int64)
+    depths = np.array([c.depth for c in contigs], dtype=np.float64)
+    lens = np.array([len(c.seq) for c in contigs], dtype=np.int64)
+    offsets = np.zeros(len(contigs) + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    bases = (
+        np.concatenate([encode(c.seq) for c in contigs])
+        if len(contigs)
+        else np.empty(0, dtype=np.uint8)
+    )
+    np.savez_compressed(
+        directory / _FILENAME,
+        cids=cids, depths=depths, offsets=offsets, bases=bases,
+    )
+    (directory / _META).write_text(
+        json.dumps({"key": key, "n_distinct_kmers": n_distinct_kmers})
+    )
+
+
+def load_contigs_checkpoint(
+    directory: str | Path, key: str
+) -> tuple[ContigSet, int] | None:
+    """Load a checkpoint if present *and* matching *key*; else None."""
+    directory = Path(directory)
+    meta_path = directory / _META
+    data_path = directory / _FILENAME
+    if not meta_path.exists() or not data_path.exists():
+        return None
+    try:
+        meta = json.loads(meta_path.read_text())
+    except json.JSONDecodeError:
+        return None
+    if meta.get("key") != key:
+        return None
+    from repro.sequence.dna import decode
+
+    with np.load(data_path) as data:
+        cids = data["cids"]
+        depths = data["depths"]
+        offsets = data["offsets"]
+        bases = data["bases"]
+    contigs = ContigSet(
+        [
+            Contig(
+                cid=int(cids[i]),
+                seq=decode(bases[offsets[i] : offsets[i + 1]]),
+                depth=float(depths[i]),
+            )
+            for i in range(cids.size)
+        ]
+    )
+    return contigs, int(meta.get("n_distinct_kmers", 0))

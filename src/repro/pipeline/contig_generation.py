@@ -1,0 +1,185 @@
+"""Contig generation: traversing unambiguous de Bruijn paths.
+
+Given the classified k-mer spectrum, this stage walks maximal *UU paths* —
+chains of k-mers whose extensions are UNIQUE on both sides and mutually
+consistent — and emits each as a contig (a unitig, in assembly terms).
+Forks and dead ends terminate paths; that is deliberate: resolving them is
+the job of the *local assembly* stage downstream, which can use read-local
+context unavailable to the global graph (§2.3 of the paper).
+
+Traversal invariants (checked by tests):
+
+* every distinct k-mer is emitted in at most one contig;
+* output is independent of seed iteration order (canonical-smallest
+  orientation is chosen deterministically);
+* each contig's k-mers chain with (k-1)-overlaps by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.contigs import Contig, ContigSet
+from repro.pipeline.kmer_analysis import ClassifiedKmers, ExtVerdict
+from repro.sequence.dna import BASES, revcomp
+
+__all__ = ["generate_contigs", "KmerGraph"]
+
+_COMP = {"A": "T", "C": "G", "G": "C", "T": "A"}
+
+
+class KmerGraph:
+    """Lookup structure over classified canonical k-mers.
+
+    Maps a k-mer string (either orientation) to its row index and
+    orientation, and answers oriented extension queries.
+    """
+
+    def __init__(self, classified: ClassifiedKmers) -> None:
+        self.ck = classified
+        self.k = classified.k
+        spec = classified.spectrum
+        n = len(spec)
+        k = self.k
+        # Vectorised unpack of every canonical k-mer (and its revcomp) to
+        # strings, then one dict keyed by string -> (row, is_rc).  Odd k
+        # guarantees no k-mer equals its own revcomp, so keys are unique.
+        codes = np.empty((n, k), dtype=np.uint8)
+        for j in range(k):
+            w = j // 32
+            shift = np.uint64(62 - 2 * (j % 32))
+            codes[:, j] = (spec.words[:, w] >> shift).astype(np.uint8) & np.uint8(3)
+        from repro.sequence.dna import CODE_TO_BASE
+
+        fwd_text = CODE_TO_BASE[codes].tobytes().decode("ascii")
+        rc_codes = (3 - codes[:, ::-1]).astype(np.uint8)
+        rc_text = CODE_TO_BASE[rc_codes].tobytes().decode("ascii")
+        index: dict[str, tuple[int, bool]] = {}
+        for i in range(n):
+            index[fwd_text[i * k : (i + 1) * k]] = (i, False)
+            index[rc_text[i * k : (i + 1) * k]] = (i, True)
+        self._index = index
+
+    def __len__(self) -> int:
+        return len(self._index) // 2
+
+    def find(self, kmer: str) -> tuple[int, bool] | None:
+        """Return ``(row, is_rc)`` for *kmer*, or None if absent.
+
+        ``is_rc`` is True when *kmer* is the reverse complement of the
+        stored canonical form.
+        """
+        return self._index.get(kmer)
+
+    def oriented_ext(self, row: int, is_rc: bool, side: str) -> tuple[ExtVerdict, str]:
+        """Extension (verdict, base) of k-mer *row* on *side*, in the
+        orientation the caller is holding the k-mer.
+
+        For an rc-held k-mer, its right extension is the complement of the
+        canonical form's left extension (and vice versa).
+        """
+        ck = self.ck
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        want_left = (side == "left") != is_rc  # XOR: rc swaps sides
+        if want_left:
+            verdict = ExtVerdict(int(ck.left_verdict[row]))
+            base = BASES[int(ck.left_base[row])]
+        else:
+            verdict = ExtVerdict(int(ck.right_verdict[row]))
+            base = BASES[int(ck.right_base[row])]
+        if is_rc:
+            base = _COMP[base]
+        return verdict, base
+
+    def count(self, row: int) -> int:
+        return int(self.ck.spectrum.counts[row])
+
+    def is_uu(self, row: int) -> bool:
+        return (
+            self.ck.left_verdict[row] == ExtVerdict.UNIQUE
+            and self.ck.right_verdict[row] == ExtVerdict.UNIQUE
+        )
+
+
+def _walk_right(graph: KmerGraph, kmer: str, row: int, is_rc: bool, visited: np.ndarray):
+    """Extend *kmer* rightward along the UU chain.
+
+    Returns (appended string, list of rows consumed).  Stops at forks,
+    dead ends, missing neighbours, inconsistent back-links, non-UU
+    neighbours, or already-visited k-mers (cycle guard).
+    """
+    out: list[str] = []
+    rows: list[int] = []
+    cur, cur_row, cur_rc = kmer, row, is_rc
+    while True:
+        verdict, base = graph.oriented_ext(cur_row, cur_rc, "right")
+        if verdict != ExtVerdict.UNIQUE:
+            break
+        nxt = cur[1:] + base
+        found = graph.find(nxt)
+        if found is None:
+            break
+        nrow, nrc = found
+        if visited[nrow] or not graph.is_uu(nrow):
+            break
+        # Bidirectional consistency: the neighbour's left extension must
+        # point back at the base we are leaving behind.
+        back_verdict, back_base = graph.oriented_ext(nrow, nrc, "left")
+        if back_verdict != ExtVerdict.UNIQUE or back_base != cur[0]:
+            break
+        visited[nrow] = True
+        out.append(base)
+        rows.append(nrow)
+        cur, cur_row, cur_rc = nxt, nrow, nrc
+    return "".join(out), rows
+
+
+def generate_contigs(
+    classified: ClassifiedKmers, min_contig_len: int | None = None
+) -> ContigSet:
+    """Emit maximal UU-path contigs from a classified spectrum.
+
+    Parameters
+    ----------
+    classified:
+        Output of :func:`repro.pipeline.kmer_analysis.analyze_kmers`.
+    min_contig_len:
+        Contigs shorter than this are dropped (default ``k + 2`` — a bare
+        k-mer with one extension carries no information the reads don't).
+    """
+    graph = KmerGraph(classified)
+    k = classified.k
+    if min_contig_len is None:
+        min_contig_len = k + 2
+    spec = classified.spectrum
+    n = len(spec)
+    visited = np.zeros(n, dtype=bool)
+    contigs = ContigSet()
+    cid = 0
+
+    uu = np.nonzero(
+        (classified.left_verdict == ExtVerdict.UNIQUE)
+        & (classified.right_verdict == ExtVerdict.UNIQUE)
+    )[0]
+
+    for seed_row in uu:
+        if visited[seed_row]:
+            continue
+        visited[seed_row] = True
+        seed = spec.kmer(int(seed_row))
+        right_str, right_rows = _walk_right(graph, seed, int(seed_row), False, visited)
+        # Walk left = walk right from the reverse complement.
+        left_str, left_rows = _walk_right(graph, revcomp(seed), int(seed_row), True, visited)
+        seq = revcomp(left_str) + seed + right_str
+        member_rows = left_rows[::-1] + [int(seed_row)] + right_rows
+        if len(seq) < min_contig_len:
+            continue
+        depth = float(np.mean([graph.count(r) for r in member_rows]))
+        # Canonical orientation: deterministic output regardless of seed.
+        rc_seq = revcomp(seq)
+        if rc_seq < seq:
+            seq = rc_seq
+        contigs.add(Contig(cid=cid, seq=seq, depth=depth))
+        cid += 1
+    return contigs

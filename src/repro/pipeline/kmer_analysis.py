@@ -1,0 +1,121 @@
+"""k-mer analysis stage: counting, error filtering and extension classification.
+
+Wraps the vectorised counting engine and applies MetaHipMer's two decisions:
+
+* **error filter** — k-mers seen only once are overwhelmingly sequencing
+  errors (§2.2: "after filtering out erroneous k-mers (those that occur
+  only once)") and are dropped;
+* **extension classification** — for each surviving k-mer and each side,
+  the neighbouring-base tallies are reduced to a single verdict used by
+  contig generation:
+
+  - ``UNIQUE`` (exactly one base reaches ``min_depth``): the k-mer extends
+    unambiguously — a "UU" k-mer when both sides are unique;
+  - ``FORK`` (two or more bases reach ``min_depth``): a branch in the
+    de Bruijn graph;
+  - ``DEADEND`` (no base reaches ``min_depth``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.pipeline.kmer_counts import KmerSpectrum, count_kmers
+from repro.sequence.read import ReadBatch
+
+__all__ = ["ExtVerdict", "ClassifiedKmers", "analyze_kmers", "classify_extensions"]
+
+
+class ExtVerdict(IntEnum):
+    """Per-side extension verdict for one k-mer."""
+
+    DEADEND = 0
+    UNIQUE = 1
+    FORK = 2
+
+
+@dataclass(frozen=True)
+class ClassifiedKmers:
+    """A filtered spectrum plus per-side extension classification.
+
+    ``left_verdict``/``right_verdict`` hold :class:`ExtVerdict` values;
+    ``left_base``/``right_base`` hold the unique extension base code where
+    the verdict is UNIQUE (undefined otherwise).
+    """
+
+    spectrum: KmerSpectrum
+    left_verdict: np.ndarray
+    right_verdict: np.ndarray
+    left_base: np.ndarray
+    right_base: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.spectrum)
+
+    @property
+    def k(self) -> int:
+        return self.spectrum.k
+
+    def n_uu(self) -> int:
+        """Number of k-mers with unique extensions on both sides."""
+        return int(
+            np.count_nonzero(
+                (self.left_verdict == ExtVerdict.UNIQUE)
+                & (self.right_verdict == ExtVerdict.UNIQUE)
+            )
+        )
+
+
+def classify_extensions(
+    ext_counts: np.ndarray, min_depth: int = 2
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce ``(n, 5)`` extension tallies to (verdict, base) arrays.
+
+    Only the four real bases (columns 0..3) can be extensions; the "none"
+    column never votes.  A base must be seen ``min_depth`` times to count,
+    which suppresses extensions supported only by a lone erroneous read.
+    """
+    votes = ext_counts[:, :4] >= min_depth
+    n_candidates = votes.sum(axis=1)
+    verdict = np.full(ext_counts.shape[0], ExtVerdict.DEADEND, dtype=np.int8)
+    verdict[n_candidates == 1] = ExtVerdict.UNIQUE
+    verdict[n_candidates >= 2] = ExtVerdict.FORK
+    base = np.argmax(ext_counts[:, :4], axis=1).astype(np.uint8)
+    return verdict, base
+
+
+def analyze_kmers(
+    batch: ReadBatch,
+    k: int,
+    min_count: int = 2,
+    min_depth: int = 2,
+    min_qual: int = 0,
+) -> ClassifiedKmers:
+    """Run the full k-mer analysis stage.
+
+    Parameters
+    ----------
+    batch:
+        Reads (typically the merged batch).
+    k:
+        k-mer length for this round.
+    min_count:
+        Error filter — k-mers seen fewer times are dropped (paper: 2).
+    min_depth:
+        Votes needed for an extension base to be considered real.
+    min_qual:
+        Mask bases below this Phred score before counting (0 = off).
+    """
+    spectrum = count_kmers(batch, k, min_count=min_count, min_qual=min_qual)
+    lv, lb = classify_extensions(spectrum.left_ext, min_depth)
+    rv, rb = classify_extensions(spectrum.right_ext, min_depth)
+    return ClassifiedKmers(
+        spectrum=spectrum,
+        left_verdict=lv,
+        right_verdict=rv,
+        left_base=lb,
+        right_base=rb,
+    )

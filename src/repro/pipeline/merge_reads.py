@@ -1,0 +1,133 @@
+"""Merge-reads stage: join overlapping paired-end mates.
+
+The first stage of the MetaHipMer2 pipeline (Fig 1).  For short inserts the
+two 150 bp mates of a pair overlap in the middle; merging them yields one
+longer, lower-error pseudo-read, which improves k-mer analysis and contig
+generation.  Algorithm (as in MHM2's ``merge_reads``):
+
+1. reverse-complement read 2 so both mates are on the same strand;
+2. scan candidate overlap lengths from longest to shortest;
+3. accept the first overlap with at most ``max_mismatch_frac`` mismatches
+   (minimum ``min_overlap`` bases);
+4. merge with per-base consensus — on disagreement the higher-quality base
+   wins and its quality is reduced by the loser's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequence.dna import revcomp_codes
+from repro.sequence.read import ReadBatch
+
+__all__ = ["MergeStats", "merge_read_pairs", "find_overlap"]
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """Outcome of the merge stage."""
+
+    n_pairs: int
+    n_merged: int
+    mean_merged_length: float
+
+    @property
+    def merge_rate(self) -> float:
+        return self.n_merged / self.n_pairs if self.n_pairs else 0.0
+
+
+def find_overlap(
+    a: np.ndarray,
+    b: np.ndarray,
+    min_overlap: int = 12,
+    max_mismatch_frac: float = 0.1,
+) -> int:
+    """Length of the best suffix(a)/prefix(b) overlap, or 0 if none.
+
+    Scans from the longest plausible overlap down so that dovetailing
+    mates (insert < read length) merge over their true overlap.
+    """
+    max_olap = min(a.size, b.size)
+    for olap in range(max_olap, min_overlap - 1, -1):
+        mism = int(np.count_nonzero(a[a.size - olap :] != b[:olap]))
+        if mism <= max_mismatch_frac * olap:
+            return olap
+    return 0
+
+
+def merge_read_pairs(
+    batch: ReadBatch,
+    min_overlap: int = 12,
+    max_mismatch_frac: float = 0.1,
+) -> tuple[ReadBatch, MergeStats]:
+    """Merge overlapping mates of an interleaved paired batch.
+
+    Returns a new (unpaired) batch in which each merged pair is replaced by
+    one consensus read and unmerged pairs are kept as two reads, plus
+    statistics.  Order is preserved (pair i's outputs precede pair i+1's),
+    which keeps downstream runs deterministic.
+    """
+    if not batch.paired:
+        raise ValueError("merge_read_pairs requires an interleaved paired batch")
+    n_pairs = len(batch) // 2
+
+    out_bases: list[np.ndarray] = []
+    out_quals: list[np.ndarray] = []
+    out_names: list[str] = []
+    n_merged = 0
+    merged_len_total = 0
+
+    for p in range(n_pairs):
+        i1, i2 = 2 * p, 2 * p + 1
+        a = batch.codes(i1)
+        aq = batch.qual_codes(i1)
+        b = revcomp_codes(batch.codes(i2))
+        bq = batch.qual_codes(i2)[::-1]
+
+        olap = find_overlap(a, b, min_overlap, max_mismatch_frac)
+        if olap == 0:
+            out_bases += [a, batch.codes(i2)]
+            out_quals += [aq, batch.qual_codes(i2)]
+            out_names += [batch.name(i1), batch.name(i2)]
+            continue
+
+        n_merged += 1
+        asz = a.size
+        head = a[: asz - olap]
+        head_q = aq[: asz - olap]
+        tail = b[olap:]
+        tail_q = bq[olap:]
+        ov_a, ov_aq = a[asz - olap :], aq[asz - olap :]
+        ov_b, ov_bq = b[:olap], bq[:olap]
+        agree = ov_a == ov_b
+        take_a = agree | (ov_aq >= ov_bq)
+        ov = np.where(take_a, ov_a, ov_b)
+        # Agreement boosts confidence (capped); disagreement costs the
+        # loser's quality — the standard merge heuristic.
+        ov_q = np.where(
+            agree,
+            np.minimum(ov_aq.astype(np.int64) + ov_bq.astype(np.int64), 41),
+            np.abs(ov_aq.astype(np.int64) - ov_bq.astype(np.int64)),
+        ).astype(np.uint8)
+
+        merged = np.concatenate([head, ov, tail])
+        merged_q = np.concatenate([head_q, ov_q, tail_q])
+        merged_len_total += merged.size
+        out_bases.append(merged)
+        out_quals.append(merged_q)
+        out_names.append(batch.name(i1).removesuffix("/1") + "/merged")
+
+    lengths = np.fromiter((b.size for b in out_bases), dtype=np.int64, count=len(out_bases))
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    bases = np.concatenate(out_bases) if out_bases else np.empty(0, dtype=np.uint8)
+    quals = np.concatenate(out_quals) if out_quals else np.empty(0, dtype=np.uint8)
+    merged_batch = ReadBatch(bases, quals, offsets, out_names, paired=False)
+    stats = MergeStats(
+        n_pairs=n_pairs,
+        n_merged=n_merged,
+        mean_merged_length=merged_len_total / n_merged if n_merged else 0.0,
+    )
+    return merged_batch, stats

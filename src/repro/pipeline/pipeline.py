@@ -1,0 +1,231 @@
+"""The pipeline orchestrator: MetaHipMer2's workflow at laptop scale.
+
+Runs the stages of Fig 1 in order:
+
+    merge reads → [per k round: k-mer analysis → contig generation]
+    → alignment → local assembly → (re)alignment → scaffolding
+
+Merged reads feed k-mer analysis and contig generation (lower error, longer
+pseudo-reads); the *original* paired reads drive alignment, local assembly
+candidate recruitment and scaffolding, as in MHM2.  With multiple k rounds,
+the contigs of round i are fed into round i+1's k-mer counting as
+high-quality pseudo-reads (the iterative de Bruijn scheme).
+
+Every stage's wall time is recorded under the paper's Fig 2 category names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import LocalAssemblyConfig
+from repro.core.local_assembler import LocalAssemblyReport, extend_contigs
+from repro.pipeline.alignment import AlignmentResult, align_reads
+from repro.pipeline.contigs import ContigSet
+from repro.pipeline.contig_generation import generate_contigs
+from repro.pipeline.kmer_analysis import analyze_kmers
+from repro.pipeline.merge_reads import MergeStats, merge_read_pairs
+from repro.pipeline.scaffolding import ScaffoldingResult, build_scaffolds
+from repro.pipeline.stages import StageTimes
+from repro.sequence.read import Read, ReadBatch
+
+__all__ = ["PipelineConfig", "AssemblyResult", "run_pipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """End-to-end assembly parameters."""
+
+    #: k values of the iterative de Bruijn rounds (MHM2 default series is
+    #: 21,33,55,77,99; one round is plenty at laptop scale).
+    k_series: tuple[int, ...] = (21,)
+    min_kmer_count: int = 2
+    min_depth: int = 2
+    #: mask bases below this Phred score in k-mer analysis (0 = off)
+    min_kmer_qual: int = 0
+    min_contig_len: int | None = None
+    # alignment
+    seed_len: int = 17
+    read_seed_stride: int = 8
+    min_identity: float = 0.9
+    min_overlap: int = 30
+    # local assembly
+    local_assembly: LocalAssemblyConfig = field(default_factory=LocalAssemblyConfig)
+    local_assembly_mode: str = "cpu"  # "cpu" | "gpu"
+    gpu_kernel_version: str = "v2"
+    # scaffolding
+    insert_mean: float = 350.0
+    #: estimate the insert size from same-contig pairs (MHM2 behaviour);
+    #: falls back to ``insert_mean`` when too few proper pairs are seen
+    estimate_insert: bool = True
+    min_scaffold_support: int = 2
+    run_scaffolding: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.k_series:
+            raise ValueError("k_series must contain at least one k")
+        if any(k % 2 == 0 for k in self.k_series):
+            raise ValueError("all k values must be odd")
+        if self.local_assembly_mode not in ("cpu", "gpu"):
+            raise ValueError("local_assembly_mode must be 'cpu' or 'gpu'")
+
+
+@dataclass
+class AssemblyResult:
+    """Outputs and measurements of one pipeline run."""
+
+    contigs: ContigSet
+    scaffolds: ScaffoldingResult | None
+    times: StageTimes
+    merge_stats: MergeStats
+    n_distinct_kmers: int
+    alignment: AlignmentResult
+    local_assembly: LocalAssemblyReport
+    config: PipelineConfig
+
+    def summary(self) -> str:
+        lines = [
+            f"contigs: {len(self.contigs)} ({self.contigs.total_bases()} bp)",
+            f"reads aligned: {self.alignment.n_reads_aligned}",
+            f"contig ends extended: {self.local_assembly.n_extended} "
+            f"(+{self.local_assembly.total_extension_bases} bp, "
+            f"{self.local_assembly.mode})",
+        ]
+        if self.scaffolds is not None:
+            lines.append(
+                f"scaffolds: {len(self.scaffolds.scaffolds)} "
+                f"({self.scaffolds.total_bases()} bp)"
+            )
+        lines.append("stage times:")
+        lines.append(str(self.times))
+        return "\n".join(lines)
+
+
+def _contigs_as_pseudo_reads(contigs: ContigSet) -> ReadBatch:
+    """Round-(i) contigs as high-quality pseudo-reads for round i+1."""
+    return ReadBatch.from_reads(
+        Read(f"contig_{c.cid}", c.seq, (41,) * len(c.seq)) for c in contigs
+    )
+
+
+def run_pipeline(
+    reads: ReadBatch,
+    config: PipelineConfig | None = None,
+    times: StageTimes | None = None,
+    checkpoint_dir: str | None = None,
+) -> AssemblyResult:
+    """Assemble *reads* (an interleaved paired batch) end to end.
+
+    *times* lets callers (e.g. the CLI) pre-accumulate stages the
+    orchestrator does not own, such as "file IO".  With *checkpoint_dir*
+    (MHM2's ``--checkpoint``), the contig-generation output is persisted
+    and reused on reruns with identical reads + upstream parameters.
+    """
+    config = config or PipelineConfig()
+    times = times if times is not None else StageTimes()
+
+    resumed = None
+    ckpt_key = ""
+    if checkpoint_dir is not None:
+        from repro.pipeline.checkpoint import checkpoint_key, load_contigs_checkpoint
+
+        with times.stage("file IO"):
+            ckpt_key = checkpoint_key(reads, config)
+            resumed = load_contigs_checkpoint(checkpoint_dir, ckpt_key)
+
+    # Merged reads only feed the de Bruijn prefix, which a checkpoint
+    # replaces entirely — so a resumed run skips merging as well.
+    merge_stats = MergeStats(n_pairs=len(reads) // 2, n_merged=0, mean_merged_length=0.0)
+    if resumed is None:
+        with times.stage("merge reads"):
+            merged, merge_stats = merge_read_pairs(reads)
+
+    contigs = ContigSet()
+    n_distinct = 0
+    if resumed is not None:
+        contigs, n_distinct = resumed
+    else:
+        counting_input = merged
+        for round_idx, k in enumerate(config.k_series):
+            with times.stage("k-mer analysis"):
+                classified = analyze_kmers(
+                    counting_input,
+                    k,
+                    min_count=config.min_kmer_count,
+                    min_depth=config.min_depth,
+                    min_qual=config.min_kmer_qual,
+                )
+                n_distinct = len(classified)
+            with times.stage("contig generation"):
+                contigs = generate_contigs(classified, config.min_contig_len)
+            if round_idx + 1 < len(config.k_series) and len(contigs):
+                counting_input = ReadBatch.concat(
+                    [merged, _contigs_as_pseudo_reads(contigs)]
+                )
+        if checkpoint_dir is not None:
+            from repro.pipeline.checkpoint import save_contigs_checkpoint
+
+            with times.stage("file IO"):
+                save_contigs_checkpoint(checkpoint_dir, contigs, ckpt_key, n_distinct)
+
+    with times.stage("alignment"):
+        aln = align_reads(
+            contigs,
+            reads,
+            seed_len=config.seed_len,
+            read_seed_stride=config.read_seed_stride,
+            min_identity=config.min_identity,
+            min_overlap=config.min_overlap,
+            max_reads_per_end=config.local_assembly.max_reads_per_end,
+        )
+
+    with times.stage("local assembly"):
+        extended, la_report = extend_contigs(
+            contigs,
+            aln.candidates,
+            config=config.local_assembly,
+            mode=config.local_assembly_mode,
+            kernel_version=config.gpu_kernel_version,
+        )
+
+    scaffolds: ScaffoldingResult | None = None
+    if config.run_scaffolding and len(extended):
+        # Re-align against the extended contigs: local assembly shifted
+        # coordinates, and scaffolding needs accurate end distances.
+        with times.stage("alignment"):
+            aln2 = align_reads(
+                extended,
+                reads,
+                seed_len=config.seed_len,
+                read_seed_stride=config.read_seed_stride,
+                min_identity=config.min_identity,
+                min_overlap=config.min_overlap,
+                max_reads_per_end=config.local_assembly.max_reads_per_end,
+            )
+        with times.stage("scaffolding"):
+            best = aln2.best_by_read()
+            insert_mean = config.insert_mean
+            if config.estimate_insert:
+                from repro.pipeline.insert_size import estimate_insert_size
+
+                est = estimate_insert_size(best, reads.lengths())
+                if est.reliable:
+                    insert_mean = est.mean
+            scaffolds = build_scaffolds(
+                extended,
+                best,
+                reads.lengths(),
+                insert_mean=insert_mean,
+                min_support=config.min_scaffold_support,
+            )
+
+    return AssemblyResult(
+        contigs=extended,
+        scaffolds=scaffolds,
+        times=times,
+        merge_stats=merge_stats,
+        n_distinct_kmers=n_distinct,
+        alignment=aln,
+        local_assembly=la_report,
+        config=config,
+    )

@@ -1,0 +1,71 @@
+"""Stage names and timing records for the pipeline.
+
+The stage list mirrors the categories of the paper's Fig 2 pie charts so
+profiles can be compared like-for-like.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["STAGES", "StageTimes"]
+
+#: Paper's Fig 2 stage categories, in pipeline order.
+STAGES = (
+    "merge reads",
+    "k-mer analysis",
+    "contig generation",
+    "alignment",
+    "aln kernel",
+    "local assembly",
+    "scaffolding",
+    "file IO",
+)
+
+
+@dataclass
+class StageTimes:
+    """Accumulated wall time per stage."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a block and accumulate it under *name*."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def add(self, name: str, dt: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + dt
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Per-stage fraction of total time (the pie-chart view)."""
+        total = self.total()
+        if total <= 0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def __str__(self) -> str:
+        lines = []
+        total = self.total()
+        for name in STAGES:
+            if name in self.seconds:
+                v = self.seconds[name]
+                pct = 100 * v / total if total else 0.0
+                lines.append(f"  {name:<18}{v:>10.3f} s {pct:>6.1f}%")
+        for name, v in self.seconds.items():
+            if name not in STAGES:
+                pct = 100 * v / total if total else 0.0
+                lines.append(f"  {name:<18}{v:>10.3f} s {pct:>6.1f}%")
+        lines.append(f"  {'total':<18}{total:>10.3f} s")
+        return "\n".join(lines)

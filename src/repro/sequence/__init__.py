@@ -1,0 +1,75 @@
+"""DNA/read/k-mer substrate, FASTQ I/O and synthetic metagenome communities."""
+
+from repro.sequence.dna import (
+    BASES,
+    decode,
+    encode,
+    gc_content,
+    hamming_distance,
+    is_valid_dna,
+    random_dna,
+    revcomp,
+    revcomp_codes,
+)
+from repro.sequence.kmer import (
+    DEFAULT_K_SERIES,
+    canonical,
+    iter_kmers,
+    kmers_of,
+    pack_kmer,
+    pack_kmers,
+    unpack_kmer,
+)
+from repro.sequence.read import Read, ReadBatch
+from repro.sequence.fastq import (
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.sequence.error_model import PERFECT, IlluminaErrorModel
+from repro.sequence.genomes import Genome, GenomeSpec, generate_genome
+from repro.sequence.community import (
+    Community,
+    CommunityDesign,
+    arcticsynth_like,
+    community_from_sequences,
+    sample_paired_reads,
+    wa_like,
+)
+
+__all__ = [
+    "BASES",
+    "encode",
+    "decode",
+    "revcomp",
+    "revcomp_codes",
+    "is_valid_dna",
+    "gc_content",
+    "random_dna",
+    "hamming_distance",
+    "DEFAULT_K_SERIES",
+    "kmers_of",
+    "iter_kmers",
+    "canonical",
+    "pack_kmer",
+    "pack_kmers",
+    "unpack_kmer",
+    "Read",
+    "ReadBatch",
+    "read_fastq",
+    "write_fastq",
+    "read_fasta",
+    "write_fasta",
+    "IlluminaErrorModel",
+    "PERFECT",
+    "Genome",
+    "GenomeSpec",
+    "generate_genome",
+    "Community",
+    "CommunityDesign",
+    "arcticsynth_like",
+    "community_from_sequences",
+    "wa_like",
+    "sample_paired_reads",
+]

@@ -1,0 +1,259 @@
+"""Synthetic metagenome communities and paired-end read sampling.
+
+This module stands in for the paper's datasets:
+
+* **arcticsynth** — a synthetic community of sequenced isolates, 32 M
+  synthetic 150 bp reads.  Our ``arcticsynth_like`` preset generates a
+  moderate number of genomes with mild abundance skew, scaled down so the
+  full pipeline runs in seconds.
+* **WA** — real Western Arctic marine communities, 2.46 B reads.  Our
+  ``wa_like`` preset uses more genomes, heavier (log-normal) abundance skew
+  and more cross-genome shared sequence; at laptop scale it yields the same
+  *qualitative* workload (highly uneven coverage, many forks) and its
+  measured per-item statistics feed the Summit-scale model.
+
+Abundances follow a log-normal distribution, the standard model for
+microbial community composition; reads are sampled uniformly along each
+genome (both strands) in proper paired-end orientation (forward/reverse,
+insert ~ Normal(mean, sd)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.sequence.dna import encode, revcomp_codes
+from repro.sequence.error_model import IlluminaErrorModel
+from repro.sequence.genomes import Genome, GenomeSpec, generate_genome, make_shared_library
+from repro.sequence.read import ReadBatch
+
+__all__ = [
+    "CommunityDesign",
+    "Community",
+    "sample_paired_reads",
+    "arcticsynth_like",
+    "wa_like",
+    "community_from_sequences",
+]
+
+
+@dataclass(frozen=True)
+class CommunityDesign:
+    """Parameters describing a synthetic community."""
+
+    n_genomes: int = 8
+    genome_spec: GenomeSpec = field(default_factory=GenomeSpec)
+    #: sigma of the log-normal abundance distribution (0 = even community).
+    abundance_sigma: float = 1.0
+    #: number of fragments in the community-wide shared library.
+    n_shared_fragments: int = 8
+    read_length: int = 150
+    insert_mean: float = 350.0
+    insert_sd: float = 40.0
+    error_model: IlluminaErrorModel = field(default_factory=IlluminaErrorModel)
+
+    def __post_init__(self) -> None:
+        if self.n_genomes < 1:
+            raise ValueError("need at least one genome")
+        if self.read_length < 20:
+            raise ValueError("read_length must be >= 20")
+        if self.insert_mean < self.read_length:
+            raise ValueError("insert_mean must be >= read_length")
+
+
+@dataclass(frozen=True)
+class Community:
+    """A realised community: genomes plus relative abundances."""
+
+    design: CommunityDesign
+    genomes: tuple[Genome, ...]
+    abundances: np.ndarray  # sums to 1
+
+    @property
+    def total_genome_length(self) -> int:
+        return sum(len(g) for g in self.genomes)
+
+    def genome_by_name(self, name: str) -> Genome:
+        for g in self.genomes:
+            if g.name == name:
+                return g
+        raise KeyError(name)
+
+    @classmethod
+    def generate(cls, design: CommunityDesign, rng: np.random.Generator) -> "Community":
+        """Generate genomes and log-normal abundances."""
+        shared = make_shared_library(
+            rng,
+            n_fragments=design.n_shared_fragments,
+            length=design.genome_spec.shared_length,
+            gc=design.genome_spec.gc,
+        )
+        genomes = []
+        for i in range(design.n_genomes):
+            # Vary genome length +/-25% and GC a little so genomes differ.
+            length = int(design.genome_spec.length * rng.uniform(0.75, 1.25))
+            gc = float(np.clip(design.genome_spec.gc + rng.normal(0, 0.05), 0.25, 0.75))
+            spec = replace(design.genome_spec, length=length, gc=gc)
+            genomes.append(generate_genome(f"genome_{i}", spec, rng, shared))
+        if design.abundance_sigma > 0:
+            raw = rng.lognormal(mean=0.0, sigma=design.abundance_sigma, size=design.n_genomes)
+        else:
+            raw = np.ones(design.n_genomes)
+        abundances = raw / raw.sum()
+        return cls(design=design, genomes=tuple(genomes), abundances=abundances)
+
+    def expected_coverage(self, n_read_pairs: int) -> np.ndarray:
+        """Expected per-genome sequencing depth for *n_read_pairs* pairs."""
+        lengths = np.array([len(g) for g in self.genomes], dtype=float)
+        pair_bases = 2 * self.design.read_length
+        reads_per_genome = n_read_pairs * self.abundances
+        return reads_per_genome * pair_bases / lengths
+
+
+def sample_paired_reads(
+    community: Community, n_pairs: int, rng: np.random.Generator
+) -> ReadBatch:
+    """Sample *n_pairs* paired-end reads from a community.
+
+    Pairs are interleaved (read ``2i`` forward, ``2i+1`` its reverse-strand
+    mate), matching MetaHipMer's input convention.  Fragment positions are
+    uniform within each genome; the genome for each pair is drawn from the
+    abundance distribution; fragment strand is random.
+    """
+    design = community.design
+    rl = design.read_length
+    genome_codes = [encode(g.seq) for g in community.genomes]
+    genome_lengths = np.array([len(g) for g in community.genomes])
+
+    choice = rng.choice(len(community.genomes), size=n_pairs, p=community.abundances)
+    inserts = np.clip(
+        np.rint(rng.normal(design.insert_mean, design.insert_sd, size=n_pairs)),
+        rl,
+        None,
+    ).astype(np.int64)
+    # Clamp inserts per-pair to the genome length.
+    inserts = np.minimum(inserts, genome_lengths[choice])
+    starts = (rng.random(n_pairs) * (genome_lengths[choice] - inserts + 1)).astype(np.int64)
+    flip = rng.random(n_pairs) < 0.5
+
+    fwd = np.empty((n_pairs, rl), dtype=np.uint8)
+    rev = np.empty((n_pairs, rl), dtype=np.uint8)
+    for i in range(n_pairs):
+        g = genome_codes[choice[i]]
+        frag = g[starts[i] : starts[i] + inserts[i]]
+        if flip[i]:
+            frag = revcomp_codes(frag)
+        fwd[i] = frag[:rl]
+        rev[i] = revcomp_codes(frag[-rl:])
+
+    fwd_err, fwd_q, _ = design.error_model.apply(fwd, rng)
+    rev_err, rev_q, _ = design.error_model.apply(rev, rng)
+
+    n_reads = 2 * n_pairs
+    bases = np.empty(n_reads * rl, dtype=np.uint8)
+    quals = np.empty(n_reads * rl, dtype=np.uint8)
+    inter = np.empty((n_pairs, 2, rl), dtype=np.uint8)
+    inter[:, 0, :] = fwd_err
+    inter[:, 1, :] = rev_err
+    bases[:] = inter.reshape(-1)
+    interq = np.empty((n_pairs, 2, rl), dtype=np.uint8)
+    interq[:, 0, :] = fwd_q
+    interq[:, 1, :] = rev_q
+    quals[:] = interq.reshape(-1)
+    offsets = np.arange(n_reads + 1, dtype=np.int64) * rl
+    names = []
+    for i in range(n_pairs):
+        names.append(f"pair{i}/1")
+        names.append(f"pair{i}/2")
+    return ReadBatch(bases, quals, offsets, names, paired=True)
+
+
+def community_from_sequences(
+    named_seqs: list[tuple[str, str]],
+    abundances: list[float] | np.ndarray | None = None,
+    design: CommunityDesign | None = None,
+) -> Community:
+    """Build a :class:`Community` from user-supplied genome sequences.
+
+    Lets real (small) genomes — e.g. loaded with
+    :func:`repro.sequence.fastq.read_fasta` — drive read sampling and the
+    full pipeline instead of synthetic genomes.
+
+    Parameters
+    ----------
+    named_seqs:
+        ``(name, sequence)`` pairs; sequences must be ACGT(N).
+    abundances:
+        Relative abundances (normalised internally); uniform if omitted.
+    design:
+        Read-sampling parameters (read length, insert, error model);
+        genome-generation fields are ignored.
+    """
+    if not named_seqs:
+        raise ValueError("need at least one genome")
+    min_len = min(len(seq) for _, seq in named_seqs)
+    if design is None:
+        design = CommunityDesign(n_genomes=len(named_seqs))
+    if min_len < design.insert_mean:
+        raise ValueError(
+            f"shortest genome ({min_len} bp) is below the insert size "
+            f"({design.insert_mean:.0f} bp)"
+        )
+    design = replace(design, n_genomes=len(named_seqs))
+    genomes = tuple(
+        Genome(name=name, seq=seq.upper(), spec=design.genome_spec)
+        for name, seq in named_seqs
+    )
+    if abundances is None:
+        ab = np.full(len(genomes), 1.0 / len(genomes))
+    else:
+        ab = np.asarray(abundances, dtype=float)
+        if ab.size != len(genomes):
+            raise ValueError("abundances length must match genomes")
+        if (ab < 0).any() or ab.sum() <= 0:
+            raise ValueError("abundances must be non-negative and sum > 0")
+        ab = ab / ab.sum()
+    return Community(design=design, genomes=genomes, abundances=ab)
+
+
+def arcticsynth_like(
+    rng: np.random.Generator,
+    n_genomes: int = 8,
+    genome_length: int = 40_000,
+    **overrides,
+) -> Community:
+    """Scaled-down analog of the arcticsynth dataset.
+
+    Moderate skew, modest shared sequence — a controlled synthetic
+    community, as in Hofmeyr et al. 2020.
+    """
+    design = CommunityDesign(
+        n_genomes=n_genomes,
+        genome_spec=GenomeSpec(length=genome_length, repeat_fraction=0.03, shared_fraction=0.02),
+        abundance_sigma=0.8,
+        **overrides,
+    )
+    return Community.generate(design, rng)
+
+
+def wa_like(
+    rng: np.random.Generator,
+    n_genomes: int = 20,
+    genome_length: int = 30_000,
+    **overrides,
+) -> Community:
+    """Scaled-down analog of the WA (Western Arctic marine) dataset.
+
+    More genomes, heavier abundance skew and more shared sequence, giving
+    highly uneven coverage and more de Bruijn forks.
+    """
+    design = CommunityDesign(
+        n_genomes=n_genomes,
+        genome_spec=GenomeSpec(length=genome_length, repeat_fraction=0.05, shared_fraction=0.05),
+        abundance_sigma=1.6,
+        n_shared_fragments=16,
+        **overrides,
+    )
+    return Community.generate(design, rng)

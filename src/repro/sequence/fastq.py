@@ -1,0 +1,127 @@
+"""FASTQ / FASTA parsing and writing.
+
+MetaHipMer2 consumes interleaved paired-end FASTQ; we support plain and
+gzip-compressed files for both formats.  Parsing is line-oriented and strict:
+malformed records raise :class:`FastqFormatError` with the offending record
+number, because silently skipping corrupt records would bias assemblies.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.sequence.read import Read, ReadBatch
+
+__all__ = [
+    "FastqFormatError",
+    "read_fastq",
+    "write_fastq",
+    "read_fasta",
+    "write_fasta",
+    "load_read_batch",
+    "save_read_batch",
+]
+
+
+class FastqFormatError(ValueError):
+    """Raised when a FASTQ/FASTA stream violates the format."""
+
+
+def _open(path: str | Path, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+    return open(path, mode + "t")
+
+
+def read_fastq(path: str | Path) -> Iterator[Read]:
+    """Yield reads from a FASTQ file (``.gz`` transparently supported)."""
+    with _open(path, "r") as fh:
+        yield from parse_fastq(fh)
+
+
+def parse_fastq(fh: Iterable[str]) -> Iterator[Read]:
+    """Parse an open FASTQ text stream."""
+    record = 0
+    it = iter(fh)
+    while True:
+        header = next(it, None)
+        if header is None:
+            return
+        header = header.rstrip("\n")
+        if not header:  # tolerate trailing blank lines
+            continue
+        record += 1
+        if not header.startswith("@"):
+            raise FastqFormatError(f"record {record}: header must start with '@'")
+        try:
+            seq = next(it).rstrip("\n")
+            plus = next(it).rstrip("\n")
+            qual = next(it).rstrip("\n")
+        except StopIteration:
+            raise FastqFormatError(f"record {record}: truncated record") from None
+        if not plus.startswith("+"):
+            raise FastqFormatError(f"record {record}: missing '+' separator line")
+        if len(qual) != len(seq):
+            raise FastqFormatError(
+                f"record {record}: quality length {len(qual)} != "
+                f"sequence length {len(seq)}"
+            )
+        yield Read.from_qual_string(header[1:].split()[0], seq.upper(), qual)
+
+
+def write_fastq(path: str | Path, reads: Iterable[Read]) -> int:
+    """Write reads as FASTQ; returns the number of records written."""
+    n = 0
+    with _open(path, "w") as fh:
+        for r in reads:
+            fh.write(f"@{r.name}\n{r.seq}\n+\n{r.qual_string()}\n")
+            n += 1
+    return n
+
+
+def read_fasta(path: str | Path) -> Iterator[tuple[str, str]]:
+    """Yield ``(name, sequence)`` pairs from a FASTA file."""
+    with _open(path, "r") as fh:
+        name: str | None = None
+        chunks: list[str] = []
+        for line in fh:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield name, "".join(chunks).upper()
+                name = line[1:].split()[0]
+                chunks = []
+            else:
+                if name is None:
+                    raise FastqFormatError("FASTA data before first '>' header")
+                chunks.append(line)
+        if name is not None:
+            yield name, "".join(chunks).upper()
+
+
+def write_fasta(path: str | Path, records: Iterable[tuple[str, str]], width: int = 80) -> int:
+    """Write ``(name, sequence)`` records as FASTA with wrapped lines."""
+    n = 0
+    with _open(path, "w") as fh:
+        for name, seq in records:
+            fh.write(f">{name}\n")
+            for i in range(0, len(seq), width):
+                fh.write(seq[i : i + width] + "\n")
+            n += 1
+    return n
+
+
+def load_read_batch(path: str | Path, paired: bool = True) -> ReadBatch:
+    """Load a FASTQ file straight into a packed :class:`ReadBatch`."""
+    return ReadBatch.from_reads(read_fastq(path), paired=paired)
+
+
+def save_read_batch(path: str | Path, batch: ReadBatch) -> int:
+    """Write a :class:`ReadBatch` out as FASTQ."""
+    return write_fastq(path, iter(batch))

@@ -1,0 +1,131 @@
+"""Synthetic genome generation for metagenome communities.
+
+Real metagenomes are hard for assemblers because genomes contain *repeats*
+(the same fragment at multiple loci) and *share* sequence across organisms
+(conserved genes, horizontal transfer).  Both create forks in de Bruijn
+graphs — the exact phenomenon local assembly exists to resolve — so the
+generator plants both deliberately and records where.
+
+Genome model:
+
+* a backbone of i.i.d. random bases with per-genome GC content;
+* ``repeat_fraction`` of the genome covered by copies of fragments drawn
+  from a small per-genome repeat library;
+* ``shared_fraction`` covered by fragments drawn from a community-wide
+  shared library (passed in by the community generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequence.dna import random_dna
+
+__all__ = ["Genome", "GenomeSpec", "generate_genome", "make_shared_library"]
+
+
+@dataclass(frozen=True)
+class GenomeSpec:
+    """Parameters for one synthetic genome."""
+
+    length: int = 50_000
+    gc: float = 0.5
+    repeat_fraction: float = 0.05
+    repeat_length: int = 500
+    n_repeat_units: int = 3
+    shared_fraction: float = 0.03
+    shared_length: int = 400
+
+    def __post_init__(self) -> None:
+        if self.length < 1000:
+            raise ValueError(f"genome length must be >= 1000, got {self.length}")
+        if not 0 <= self.repeat_fraction < 0.5:
+            raise ValueError("repeat_fraction must be in [0, 0.5)")
+        if not 0 <= self.shared_fraction < 0.5:
+            raise ValueError("shared_fraction must be in [0, 0.5)")
+
+
+@dataclass(frozen=True)
+class Genome:
+    """A generated genome plus provenance of planted structure."""
+
+    name: str
+    seq: str
+    spec: GenomeSpec
+    repeat_loci: tuple[tuple[int, int], ...] = field(default=())
+    shared_loci: tuple[tuple[int, int], ...] = field(default=())
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+
+def make_shared_library(
+    rng: np.random.Generator, n_fragments: int = 8, length: int = 400, gc: float = 0.5
+) -> list[str]:
+    """Community-wide library of fragments shared across genomes."""
+    return [random_dna(length, rng, gc) for _ in range(n_fragments)]
+
+
+def generate_genome(
+    name: str,
+    spec: GenomeSpec,
+    rng: np.random.Generator,
+    shared_library: list[str] | None = None,
+) -> Genome:
+    """Generate one genome according to *spec*.
+
+    Repeats and shared fragments are written over the random backbone at
+    non-overlapping positions (best effort; if placement fails after a few
+    attempts the fragment is skipped — the fractions are targets, not
+    guarantees).
+    """
+    backbone = list(random_dna(spec.length, rng, spec.gc))
+    occupied = np.zeros(spec.length, dtype=bool)
+
+    def place(fragment: str, max_tries: int = 20) -> tuple[int, int] | None:
+        flen = len(fragment)
+        if flen >= spec.length:
+            return None
+        for _ in range(max_tries):
+            pos = int(rng.integers(0, spec.length - flen))
+            if not occupied[pos : pos + flen].any():
+                backbone[pos : pos + flen] = fragment
+                occupied[pos : pos + flen] = True
+                return (pos, pos + flen)
+        return None
+
+    repeat_loci: list[tuple[int, int]] = []
+    if spec.repeat_fraction > 0 and spec.n_repeat_units > 0:
+        units = [random_dna(spec.repeat_length, rng, spec.gc) for _ in range(spec.n_repeat_units)]
+        target = int(spec.repeat_fraction * spec.length)
+        placed = 0
+        while placed < target:
+            unit = units[int(rng.integers(0, len(units)))]
+            loc = place(unit)
+            if loc is None:
+                break
+            repeat_loci.append(loc)
+            placed += len(unit)
+
+    shared_loci: list[tuple[int, int]] = []
+    if shared_library and spec.shared_fraction > 0:
+        target = int(spec.shared_fraction * spec.length)
+        placed = 0
+        while placed < target:
+            frag = shared_library[int(rng.integers(0, len(shared_library)))]
+            frag = frag[: spec.shared_length]
+            loc = place(frag)
+            if loc is None:
+                break
+            shared_loci.append(loc)
+            placed += len(frag)
+
+    return Genome(
+        name=name,
+        seq="".join(backbone),
+        spec=spec,
+        repeat_loci=tuple(repeat_loci),
+        shared_loci=tuple(shared_loci),
+    )

@@ -1,0 +1,169 @@
+"""k-mer extraction, canonicalisation and 2-bit packing.
+
+A *k-mer* is a length-``k`` substring of a read or contig.  The de Bruijn
+stages of the pipeline (k-mer analysis, contig generation, local assembly)
+all operate on k-mers, so extraction must be cheap and allocation-free.
+
+Three forms are provided:
+
+* **string k-mers** — convenience API for tests and small examples;
+* **windowed code views** — ``sliding_window_view`` over a ``uint8`` code
+  array, giving an ``(n_kmers, k)`` *view* (no copy) used by the CPU
+  reference implementation;
+* **packed words** — each k-mer packed into ``ceil(k/32)`` ``uint64`` words
+  (2 bits per base, first base in the most-significant position of word 0),
+  used as hash-table keys.  Packing is fully vectorised.
+
+MetaHipMer iterates k through {21, 33, 55, 77, 99}; all helpers here accept
+any odd k ≥ 1 (odd k makes a k-mer never equal to its own reverse
+complement, so canonicalisation is unambiguous).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.sequence.dna import N_CODE, decode, encode, revcomp
+
+__all__ = [
+    "DEFAULT_K_SERIES",
+    "kmers_of",
+    "iter_kmers",
+    "canonical",
+    "kmer_window",
+    "valid_kmer_mask",
+    "words_per_kmer",
+    "pack_kmers",
+    "pack_kmer",
+    "unpack_kmer",
+    "count_distinct_kmers",
+]
+
+#: The k progression MetaHipMer2 uses for its iterative de Bruijn rounds.
+DEFAULT_K_SERIES = (21, 33, 55, 77, 99)
+
+
+def kmers_of(seq: str, k: int) -> list[str]:
+    """All k-mers of *seq*, in order, excluding any containing ``N``.
+
+    >>> kmers_of("ACGTA", 3)
+    ['ACG', 'CGT', 'GTA']
+    """
+    return list(iter_kmers(seq, k))
+
+
+def iter_kmers(seq: str, k: int) -> Iterator[str]:
+    """Lazily yield the k-mers of *seq* that contain no ``N``."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    upper = seq.upper()
+    for i in range(len(upper) - k + 1):
+        kmer = upper[i : i + k]
+        if "N" not in kmer:
+            yield kmer
+
+
+def canonical(kmer: str) -> str:
+    """Lexicographic minimum of a k-mer and its reverse complement.
+
+    The global k-mer analysis stage counts canonical k-mers so that the two
+    strands of a fragment are merged.  (Local assembly, by contrast, works
+    strand-directed and does *not* canonicalise.)
+    """
+    rc = revcomp(kmer)
+    return kmer if kmer <= rc else rc
+
+
+def kmer_window(codes: np.ndarray, k: int) -> np.ndarray:
+    """Return an ``(n-k+1, k)`` sliding *view* of a code array.
+
+    No data is copied; rows alias the input.  Caller must not mutate.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    if codes.size < k:
+        return np.empty((0, k), dtype=np.uint8)
+    return sliding_window_view(codes, k)
+
+
+def valid_kmer_mask(codes: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask of windows that contain no ``N`` code.
+
+    Computed with a prefix-sum over the N indicator so it is O(n), not
+    O(n*k).
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    n_win = codes.size - k + 1
+    if n_win <= 0:
+        return np.zeros(0, dtype=bool)
+    is_n = (codes >= N_CODE).astype(np.int64)
+    csum = np.concatenate(([0], np.cumsum(is_n)))
+    # Window starting at i spans codes[i:i+k]; valid iff zero Ns inside.
+    return (csum[k:] - csum[:-k]) == 0
+
+
+def words_per_kmer(k: int) -> int:
+    """Number of uint64 words needed to hold a 2-bit-packed k-mer."""
+    return (k + 31) // 32
+
+
+def pack_kmers(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pack every k-mer window of *codes* into 2-bit uint64 words.
+
+    Returns ``(words, valid)`` where ``words`` has shape
+    ``(n-k+1, words_per_kmer(k))`` and ``valid`` marks windows free of N.
+    Invalid windows contain unspecified word values and must be filtered by
+    the caller using ``valid``.
+
+    Layout: base ``j`` of the k-mer occupies bits
+    ``[62 - 2*(j mod 32), 63 - 2*(j mod 32)]`` of word ``j // 32`` — i.e.
+    bases fill each word from the most-significant end, so packed words sort
+    in the same order as the underlying strings.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    n_win = codes.size - k + 1
+    nw = words_per_kmer(k)
+    if n_win <= 0:
+        return np.empty((0, nw), dtype=np.uint64), np.zeros(0, dtype=bool)
+    win = kmer_window(codes, k)  # (n_win, k) view
+    words = np.zeros((n_win, nw), dtype=np.uint64)
+    # Column-at-a-time packing: one small temp per base position instead of
+    # materialising an (n_win, k) uint64 matrix.  N codes are sanitised to
+    # 0 so shifts stay in range; `valid` filters those windows out.
+    for j in range(k):
+        w = j // 32
+        shift = np.uint64(62 - 2 * (j % 32))
+        col = win[:, j].astype(np.uint64)
+        np.minimum(col, 3, out=col)
+        words[:, w] |= col << shift
+    return words, valid_kmer_mask(codes, k)
+
+
+def pack_kmer(kmer: str) -> np.ndarray:
+    """Pack a single k-mer string; returns a ``(words_per_kmer(k),)`` array."""
+    codes = encode(kmer)
+    if np.any(codes >= 4):
+        raise ValueError(f"cannot pack k-mer containing N: {kmer!r}")
+    words, _ = pack_kmers(codes, len(kmer))
+    return words[0]
+
+
+def unpack_kmer(words: np.ndarray, k: int) -> str:
+    """Inverse of :func:`pack_kmer`."""
+    words = np.asarray(words, dtype=np.uint64).ravel()
+    codes = np.empty(k, dtype=np.uint8)
+    for j in range(k):
+        w = j // 32
+        shift = np.uint64(62 - 2 * (j % 32))
+        codes[j] = np.uint8((words[w] >> shift) & np.uint64(3))
+    return decode(codes)
+
+
+def count_distinct_kmers(seq: str, k: int, canonicalise: bool = False) -> int:
+    """Number of distinct (optionally canonical) k-mers in *seq*."""
+    seen: set[str] = set()
+    for km in iter_kmers(seq, k):
+        seen.add(canonical(km) if canonicalise else km)
+    return len(seen)

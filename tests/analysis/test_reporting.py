@@ -1,0 +1,42 @@
+"""Tests for the bench reporting helpers."""
+
+from repro.analysis.reporting import format_fractions, format_table, paper_vs_measured
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 0.001)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1] or "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(0.00001,), (123456.0,), (0.0,)])
+        assert "1e-05" in text and "0" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestPaperVsMeasured:
+    def test_columns(self):
+        text = paper_vs_measured("T", [("speedup", "7x", 7.02)])
+        assert "paper" in text and "reproduced" in text
+        assert "7x" in text and "7.02" in text
+
+
+class TestFractions:
+    def test_sorted_desc(self):
+        text = format_fractions({"a": 0.1, "b": 0.9})
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert lines[0].strip().startswith("b")
+        assert "90.0%" in text
+
+    def test_title(self):
+        assert format_fractions({"a": 1.0}, title="pie").splitlines()[0] == "pie"

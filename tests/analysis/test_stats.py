@@ -1,0 +1,70 @@
+"""Tests for assembly statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import assembly_stats, genome_fraction, nx
+from repro.sequence.dna import random_dna, revcomp
+
+
+class TestNx:
+    def test_n50_known(self):
+        # classic example: lengths 80,70,50,40,30,20 (total 290; half 145)
+        lengths = np.array([80, 70, 50, 40, 30, 20])
+        assert nx(lengths, 0.5) == 70
+
+    def test_n50_single(self):
+        assert nx(np.array([100]), 0.5) == 100
+
+    def test_n90_smaller_than_n50(self):
+        lengths = np.array([100, 50, 25, 10, 5])
+        assert nx(lengths, 0.9) <= nx(lengths, 0.5)
+
+    def test_empty(self):
+        assert nx(np.array([]), 0.5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nx(np.array([1]), 0.0)
+
+
+class TestAssemblyStats:
+    def test_from_strings(self):
+        s = assembly_stats(["AAAA", "CC"])
+        assert s.n_seqs == 2 and s.total_bases == 6
+        assert s.min_len == 2 and s.max_len == 4
+        assert s.mean_len == 3.0
+
+    def test_from_lengths(self):
+        s = assembly_stats(np.array([10, 20]))
+        assert s.total_bases == 30
+
+    def test_empty(self):
+        s = assembly_stats([])
+        assert s.n_seqs == 0 and s.n50 == 0
+
+    def test_str(self):
+        assert "N50" in str(assembly_stats(["ACGT"]))
+
+
+class TestGenomeFraction:
+    def test_perfect_recovery(self, rng):
+        g = random_dna(500, rng)
+        assert genome_fraction([g], g) == 1.0
+
+    def test_rc_counts(self, rng):
+        g = random_dna(500, rng)
+        assert genome_fraction([revcomp(g)], g) == 1.0
+
+    def test_half_recovery(self, rng):
+        g = random_dna(1000, rng)
+        frac = genome_fraction([g[:500]], g, k=31)
+        assert 0.4 < frac < 0.55
+
+    def test_unrelated(self, rng):
+        g = random_dna(500, rng)
+        other = random_dna(500, rng)
+        assert genome_fraction([other], g) < 0.05
+
+    def test_empty_contigs(self, rng):
+        assert genome_fraction([], random_dna(100, rng)) == 0.0

@@ -1,0 +1,85 @@
+"""Tests for reference-based validation (chimera detection, recovery)."""
+
+import pytest
+
+from repro.analysis.validation import evaluate_against_references
+from repro.sequence.dna import random_dna, revcomp
+
+
+@pytest.fixture
+def genomes(rng):
+    return [random_dna(3000, rng) for _ in range(3)]
+
+
+class TestAssignment:
+    def test_clean_contig_assigned(self, genomes):
+        contig = genomes[1][500:1500]
+        report = evaluate_against_references([(0, contig)], genomes)
+        (e,) = report.evaluations
+        assert e.genome == 1
+        assert not e.chimeric
+        assert e.known_fraction > 0.99
+
+    def test_rc_contig_assigned(self, genomes):
+        contig = revcomp(genomes[2][100:900])
+        report = evaluate_against_references([(0, contig)], genomes)
+        assert report.evaluations[0].genome == 2
+
+    def test_unrelated_contig_unmapped(self, genomes, rng):
+        report = evaluate_against_references([(0, random_dna(800, rng))], genomes)
+        (e,) = report.evaluations
+        assert e.genome is None
+        assert e.known_fraction < 0.05
+        assert report.n_unmapped == 1
+
+    def test_chimera_detected(self, genomes):
+        chimera = genomes[0][:600] + genomes[1][:600]
+        report = evaluate_against_references([(0, chimera)], genomes)
+        (e,) = report.evaluations
+        assert e.chimeric
+        assert report.n_chimeric == 1
+
+    def test_shared_fragment_not_chimeric(self, genomes, rng):
+        """Sequence shared across genomes is ambiguous, not a misassembly."""
+        shared = random_dna(400, rng)
+        g0 = genomes[0][:1000] + shared + genomes[0][1000:]
+        g1 = genomes[1][:1000] + shared + genomes[1][1000:]
+        contig = g0[800:1800]  # spans into the shared fragment
+        report = evaluate_against_references([(0, contig)], [g0, g1, genomes[2]])
+        (e,) = report.evaluations
+        assert not e.chimeric
+        assert e.genome == 0
+
+
+class TestRecovery:
+    def test_full_recovery(self, genomes):
+        report = evaluate_against_references(
+            [(i, g) for i, g in enumerate(genomes)], genomes
+        )
+        assert all(f == pytest.approx(1.0) for f in report.genome_recovery.values())
+
+    def test_partial_recovery(self, genomes):
+        report = evaluate_against_references([(0, genomes[0][:1500])], genomes)
+        assert 0.4 < report.genome_recovery[0] < 0.6
+        assert report.genome_recovery[1] == 0.0
+
+    def test_summary_renders(self, genomes):
+        report = evaluate_against_references([(0, genomes[0][:500])], genomes)
+        text = report.summary()
+        assert "chimeric" in text and "recovery" in text
+
+    def test_contigs_of(self, genomes):
+        report = evaluate_against_references(
+            [(0, genomes[0][:800]), (1, genomes[1][:800])], genomes
+        )
+        assert [e.cid for e in report.contigs_of(0)] == [0]
+
+
+class TestPipelineIntegration:
+    def test_assembly_has_no_chimeras(self, small_assembly, small_community):
+        """Local assembly must not walk across organisms."""
+        report = evaluate_against_references(
+            small_assembly.contigs,
+            [g.seq for g in small_community.genomes],
+        )
+        assert report.n_chimeric / max(report.n_contigs, 1) < 0.02

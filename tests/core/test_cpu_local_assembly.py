@@ -1,0 +1,179 @@
+"""Tests for the CPU reference local assembler (the baseline/oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LocalAssemblyConfig
+from repro.core.cpu_local_assembly import (
+    build_kmer_table,
+    extend_task_cpu,
+    mer_walk,
+    run_local_assembly_cpu,
+)
+from repro.core.extension import WalkStatus
+from repro.core.tasks import RIGHT, ExtensionTask, TaskSet
+from repro.sequence.dna import encode, random_dna
+
+
+def _mk_task(contig, reads, quals=None, cid=0):
+    reads_c = tuple(encode(r) for r in reads)
+    if quals is None:
+        quals_c = tuple(np.full(len(r), 40, dtype=np.uint8) for r in reads)
+    else:
+        quals_c = tuple(np.asarray(q, dtype=np.uint8) for q in quals)
+    return ExtensionTask(cid=cid, side=RIGHT, contig=encode(contig), reads=reads_c, quals=quals_c)
+
+
+def _tiling_task(genome, contig_end, rng, read_len=80, stride=7, start=0):
+    reads = [
+        genome[i : i + read_len]
+        for i in range(start, len(genome) - read_len + 1, stride)
+    ]
+    return _mk_task(genome[:contig_end], reads)
+
+
+class TestBuildTable:
+    def test_matches_naive_reference(self, rng):
+        """The vectorised build equals a per-k-mer Python loop."""
+        reads = [random_dna(60, rng) for _ in range(5)]
+        quals = [rng.integers(2, 42, size=60).astype(np.uint8) for _ in range(5)]
+        task = _mk_task("ACGT" * 10, reads, quals)
+        k, hi_q = 11, 20
+        table = build_kmer_table(task, k, hi_q)
+
+        naive: dict[bytes, list[int]] = {}
+        for codes, q in zip(task.reads, task.quals):
+            for pos in range(codes.size - k):
+                key = codes[pos : pos + k].tobytes()
+                nxt = int(codes[pos + k])
+                e = naive.setdefault(key, [0] * 8)
+                e[4 + nxt] += 1
+                if q[pos + k] >= hi_q:
+                    e[nxt] += 1
+        assert table == naive
+
+    def test_empty_task(self):
+        task = _mk_task("ACGTACGT", [])
+        assert build_kmer_table(task, 5, 20) == {}
+
+    def test_k_longer_than_reads(self):
+        task = _mk_task("ACGTACGT", ["ACGT"])
+        assert build_kmer_table(task, 21, 20) == {}
+
+    def test_kmer_at_read_end_has_no_ext(self):
+        task = _mk_task("ACGT", ["ACGTA"])
+        table = build_kmer_table(task, 5, 20)
+        assert table == {}  # the only 5-mer has no following base
+
+
+class TestMerWalk:
+    def test_walks_genome(self, rng):
+        genome = random_dna(300, rng)
+        task = _tiling_task(genome, 100, rng)
+        cfg = LocalAssemblyConfig(k_init=21, max_walk_len=300, min_viable=2)
+        table = build_kmer_table(task, 21, cfg.hi_q_thresh)
+        walk, status = mer_walk(encode(genome[:100]), table, 21, cfg)
+        from repro.sequence.dna import decode
+
+        ext = decode(np.array(walk, dtype=np.uint8))
+        assert genome[100 : 100 + len(ext)] == ext
+        assert len(ext) > 100  # reads cover well past the contig end
+
+    def test_short_seq_runout(self):
+        cfg = LocalAssemblyConfig()
+        walk, status = mer_walk(encode("ACGT"), {}, 21, cfg)
+        assert walk == [] and status == WalkStatus.RUNOUT
+
+    def test_max_len_cap(self, rng):
+        genome = random_dna(400, rng)
+        task = _tiling_task(genome, 100, rng)
+        cfg = LocalAssemblyConfig(k_init=21, max_walk_len=10)
+        table = build_kmer_table(task, 21, cfg.hi_q_thresh)
+        walk, status = mer_walk(encode(genome[:100]), table, 21, cfg)
+        assert len(walk) == 10 and status == WalkStatus.MAX_LEN
+
+    def test_loop_detected_on_tandem_repeat(self):
+        unit = "ACGTTGCACTG"  # 11bp unit, no internal 5-mer repeats
+        circular = unit * 8
+        reads = [circular[i : i + 30] for i in range(0, len(circular) - 30, 3)]
+        task = _mk_task(unit * 2, reads)
+        cfg = LocalAssemblyConfig(k_init=5, k_min=5, max_walk_len=300, min_viable=2)
+        table = build_kmer_table(task, 5, cfg.hi_q_thresh)
+        walk, status = mer_walk(encode(unit * 2), table, 5, cfg)
+        assert status == WalkStatus.LOOP
+        assert len(walk) <= len(unit) + 5
+
+    def test_fork_stops_walk(self):
+        stem = "ACGTACGTCCAT"
+        reads = [stem + "AAAAA"] * 3 + [stem + "TTTTT"] * 3
+        task = _mk_task(stem, reads)
+        cfg = LocalAssemblyConfig(k_init=7, k_min=7, max_walk_len=50)
+        table = build_kmer_table(task, 7, cfg.hi_q_thresh)
+        walk, status = mer_walk(encode(stem), table, 7, cfg)
+        assert status == WalkStatus.FORK
+        assert len(walk) == 0
+
+    def test_low_quality_extension_ignored(self):
+        stem = "ACGTACGTCCAT"
+        # three low-quality observations of the same extension
+        quals = [np.array([40] * len(stem) + [2] * 5, dtype=np.uint8)] * 3
+        task = _mk_task(stem, [stem + "AAAAA"] * 3, quals)
+        cfg = LocalAssemblyConfig(k_init=7, k_min=7, min_viable=2)
+        table = build_kmer_table(task, 7, cfg.hi_q_thresh)
+        # hi counts are 0 but totals pass the fallback -> extension proceeds
+        walk, status = mer_walk(encode(stem), table, 7, cfg)
+        assert len(walk) > 0
+
+
+class TestKShiftIntegration:
+    def test_upshift_resolves_repeat_fork(self, rng):
+        """A fork caused by a repeat shorter than the upshifted k is
+        resolved after the k-shift: the walk continues further."""
+        rep = random_dna(24, rng)  # longer than k_init=21? no: 24 > 21
+        a_arm, b_arm = random_dna(120, rng), random_dna(120, rng)
+        tail_a, tail_b = random_dna(120, rng), random_dna(120, rng)
+        # genome has the repeat at two loci with different continuations
+        locus_a = a_arm + rep + tail_a
+        locus_b = b_arm + rep + tail_b
+        reads = []
+        for locus in (locus_a, locus_b):
+            reads += [locus[i : i + 60] for i in range(0, len(locus) - 60 + 1, 4)]
+        task = _mk_task(a_arm, reads)
+        cfg = LocalAssemblyConfig(k_init=21, k_step=12, k_min=13, k_max=45, max_walk_len=200)
+        result = extend_task_cpu(task, cfg)
+        # at k=21 the walk forks inside the 24bp repeat; k=33 spans it
+        statuses = [r.status for r in result.rounds]
+        ks = [r.k for r in result.rounds]
+        assert WalkStatus.FORK in statuses
+        assert any(k > 21 for k in ks)
+        # and the final extension continues into tail_a
+        assert tail_a[:20] in (a_arm + result.extension)[len(a_arm) - 5 :] or len(
+            result.extension
+        ) > len(rep)
+
+    def test_zero_read_task_empty(self):
+        task = _mk_task("ACGTACGTACGTACGTACGTACGTA", [])
+        result = extend_task_cpu(task, LocalAssemblyConfig())
+        assert result.extension == "" and result.rounds == ()
+
+    def test_run_over_taskset_stats(self, rng):
+        genome = random_dna(300, rng)
+        t1 = _tiling_task(genome, 100, rng)
+        t2 = _mk_task("ACGTACGTACGTACGTACGTACGTA", [], cid=1)
+        exts, stats = run_local_assembly_cpu(TaskSet([t1, t2]))
+        assert stats.n_tasks == 2
+        assert stats.n_tasks_with_reads == 1
+        assert stats.n_extended == 1
+        assert exts[(1, RIGHT)] == ""
+        assert len(exts[(0, RIGHT)]) == stats.total_extension_bases
+        assert stats.mean_walk_length() > 0
+
+    def test_extension_matches_genome(self, rng):
+        """End to end: the extension reproduces the true genome sequence."""
+        genome = random_dna(500, rng)
+        task = _tiling_task(genome, 150, rng)
+        cfg = LocalAssemblyConfig(k_init=21, max_walk_len=400)
+        result = extend_task_cpu(task, cfg)
+        extended = genome[:150] + result.extension
+        assert extended == genome[: len(extended)]
+        assert len(result.extension) > 150

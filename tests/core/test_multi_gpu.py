@@ -1,0 +1,92 @@
+"""Tests for node-level multi-GPU local assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LocalAssemblyConfig
+from repro.core.cpu_local_assembly import run_local_assembly_cpu
+from repro.core.multi_gpu import NodeLocalAssembler, partition_tasks_by_work
+from repro.core.tasks import LEFT, RIGHT, ExtensionTask, TaskSet
+from repro.sequence.dna import encode, random_dna
+
+
+def _task(cid, side, n_reads, rng, read_len=60):
+    genome = random_dna(300, rng)
+    reads = tuple(
+        encode(genome[(i * 13) % 200 : (i * 13) % 200 + read_len])
+        for i in range(n_reads)
+    )
+    quals = tuple(np.full(read_len, 40, dtype=np.uint8) for _ in range(n_reads))
+    return ExtensionTask(cid=cid, side=side, contig=encode(genome[:100]),
+                         reads=reads, quals=quals)
+
+
+@pytest.fixture
+def tasks(rng):
+    out = []
+    for cid in range(9):
+        out.append(_task(cid, LEFT, (cid * 3) % 11, rng))
+        out.append(_task(cid, RIGHT, (cid * 5 + 1) % 13, rng))
+    return TaskSet(out)
+
+
+class TestPartition:
+    def test_covers_all_tasks(self, tasks):
+        groups = partition_tasks_by_work(tasks, 4)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(len(tasks)))
+
+    def test_contigs_stay_whole(self, tasks):
+        groups = partition_tasks_by_work(tasks, 4)
+        for g in groups:
+            cids = {tasks[i].cid for i in g}
+            for i in range(len(tasks)):
+                if tasks[i].cid in cids:
+                    assert i in g
+
+    def test_single_gpu(self, tasks):
+        (group,) = partition_tasks_by_work(tasks, 1)
+        assert len(group) == len(tasks)
+
+    def test_balanced_by_work(self, rng):
+        from repro.core.ht_sizing import table_slots
+
+        heavy = TaskSet(
+            [_task(i, RIGHT, 20, rng) for i in range(8)]
+        )
+        groups = partition_tasks_by_work(heavy, 4)
+        loads = [
+            sum(table_slots(heavy[i]) for i in g) for g in groups
+        ]
+        assert max(loads) <= 2 * min(loads)
+
+    def test_validation(self, tasks):
+        with pytest.raises(ValueError):
+            partition_tasks_by_work(tasks, 0)
+
+
+class TestNodeAssembler:
+    @pytest.mark.parametrize("n_gpus", [1, 2, 6])
+    def test_matches_cpu_any_gpu_count(self, tasks, n_gpus):
+        cfg = LocalAssemblyConfig(k_init=17, max_walk_len=80)
+        cpu, _ = run_local_assembly_cpu(tasks, cfg)
+        node = NodeLocalAssembler(cfg, n_gpus=n_gpus).run(tasks)
+        assert node.extensions == cpu
+        assert node.n_gpus == n_gpus
+
+    def test_wall_time_is_slowest_gpu(self, tasks):
+        cfg = LocalAssemblyConfig(k_init=17, max_walk_len=80)
+        node = NodeLocalAssembler(cfg, n_gpus=3).run(tasks)
+        assert node.wall_time_s == max(node.gpu_times)
+        assert node.total_gpu_time_s == pytest.approx(sum(node.gpu_times))
+        assert 0 < node.balance <= 1.0
+
+    def test_more_gpus_not_slower(self, tasks):
+        cfg = LocalAssemblyConfig(k_init=17, max_walk_len=80)
+        one = NodeLocalAssembler(cfg, n_gpus=1).run(tasks)
+        six = NodeLocalAssembler(cfg, n_gpus=6).run(tasks)
+        assert six.wall_time_s <= one.wall_time_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeLocalAssembler(n_gpus=0)

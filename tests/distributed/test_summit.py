@@ -1,0 +1,114 @@
+"""Tests anchoring the Summit scale model to the paper's published numbers.
+
+These are the shape checks DESIGN.md promises: the calibrated model must
+reproduce the paper's headline ratios within tolerance, and its scaling
+curves must behave the way the paper explains (monotone decay driven by
+shrinking per-GPU work).
+"""
+
+import pytest
+
+from repro.distributed.strong_scaling import (
+    PAPER_NODES,
+    la_scaling_table,
+    pipeline_scaling_table,
+)
+from repro.distributed.summit import (
+    ARCTICSYNTH_PROFILE,
+    WA_PROFILE,
+    SummitNodeSpec,
+    SummitScaleModel,
+)
+
+
+@pytest.fixture
+def wa():
+    return SummitScaleModel(profile=WA_PROFILE)
+
+
+@pytest.fixture
+def arctic():
+    return SummitScaleModel(profile=ARCTICSYNTH_PROFILE)
+
+
+class TestNodeSpec:
+    def test_summit_memory_contrast(self):
+        node = SummitNodeSpec()
+        # the paper's 96 GB HBM vs 512 GB DRAM contrast (§2.4)
+        assert node.gpu_mem_bytes == 96 * 1024**3
+        assert node.cpu_mem_bytes == 512 * 1024**3
+        assert node.gpus == 6
+
+
+class TestWaAnchors:
+    def test_total_time_64(self, wa):
+        # Fig 2a caption: 2128 s
+        assert wa.pipeline_time(64, False) == pytest.approx(2128, rel=0.02)
+
+    def test_total_time_64_gpu(self, wa):
+        # Fig 2b caption: 1495 s
+        assert wa.pipeline_time(64, True) == pytest.approx(1495, rel=0.03)
+
+    def test_la_fraction_64(self, wa):
+        # 34% -> 6% (Figs 2a/2b)
+        assert wa.profile_fractions(64, False)["local assembly"] == pytest.approx(0.34, abs=0.01)
+        assert wa.profile_fractions(64, True)["local assembly"] == pytest.approx(0.06, abs=0.02)
+
+    def test_la_speedup_7x_at_64(self, wa):
+        assert wa.la_speedup(64) == pytest.approx(7.0, rel=0.05)
+
+    def test_la_speedup_decays_to_265_at_1024(self, wa):
+        assert wa.la_speedup(1024) == pytest.approx(2.65, rel=0.1)
+
+    def test_pipeline_speedup_42pct_at_64(self, wa):
+        assert wa.pipeline_speedup(64) == pytest.approx(1.42, abs=0.02)
+
+    def test_speedup_monotone_decay(self, wa):
+        speedups = [wa.la_speedup(n) for n in PAPER_NODES]
+        assert all(a > b for a, b in zip(speedups, speedups[1:]))
+        gains = [wa.pipeline_speedup(n) for n in PAPER_NODES]
+        assert all(a > b for a, b in zip(gains, gains[1:]))
+
+    def test_gpu_always_wins(self, wa):
+        for n in PAPER_NODES:
+            assert wa.la_gpu_time(n) < wa.la_cpu_time(n)
+
+    def test_cpu_la_strong_scales(self, wa):
+        assert wa.la_cpu_time(128) == pytest.approx(wa.la_cpu_time(64) / 2, rel=0.01)
+
+
+class TestArcticAnchors:
+    def test_la_speedup_43x_at_2(self, arctic):
+        # Fig 12: about 4.3x on two nodes
+        assert arctic.la_speedup(2) == pytest.approx(4.3, rel=0.05)
+
+    def test_overall_gain_12pct(self, arctic):
+        # Fig 12: ~12% overall improvement
+        assert arctic.pipeline_speedup(2) == pytest.approx(1.12, abs=0.02)
+
+    def test_la_fraction_14pct(self, arctic):
+        assert arctic.profile_fractions(2, False)["local assembly"] == pytest.approx(
+            0.14, abs=0.01
+        )
+
+
+class TestScalingTables:
+    def test_la_table_rows(self):
+        rows = la_scaling_table()
+        assert [r.nodes for r in rows] == list(PAPER_NODES)
+        assert all(r.speedup > 1 for r in rows)
+
+    def test_pipeline_table_rows(self):
+        rows = pipeline_scaling_table()
+        assert rows[0].speedup == pytest.approx(1.42, abs=0.03)
+        assert rows[-1].speedup < rows[0].speedup
+
+    def test_custom_nodes(self):
+        rows = la_scaling_table(nodes=(32, 64))
+        assert [r.nodes for r in rows] == [32, 64]
+
+    def test_occupancy_mechanism(self):
+        """The speedup decay is driven by per-GPU warp starvation."""
+        m = WA_PROFILE.gpu_local_assembly
+        assert m.warps_per_gpu(64) > m.device.saturation_warps
+        assert m.warps_per_gpu(1024) < m.device.saturation_warps

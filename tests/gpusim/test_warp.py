@@ -1,0 +1,212 @@
+"""Tests for the warp execution context: masks, memory ops, intrinsics."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.memory import DeviceAllocator
+from repro.gpusim.warp import Warp
+
+
+@pytest.fixture
+def alloc():
+    return DeviceAllocator(1 << 20)
+
+
+@pytest.fixture
+def warp():
+    return Warp(KernelCounters())
+
+
+class TestMasks:
+    def test_initially_all_active(self, warp):
+        assert warp.active_count == 32
+
+    def test_where_restricts_and_restores(self, warp):
+        cond = np.arange(32) < 10
+        with warp.where(cond):
+            assert warp.active_count == 10
+            with warp.where(np.arange(32) < 5):
+                assert warp.active_count == 5
+            assert warp.active_count == 10
+        assert warp.active_count == 32
+
+    def test_single_lane(self, warp):
+        with warp.single_lane(3):
+            assert warp.active_count == 1
+            assert warp.mask[3]
+
+    def test_predication_counted(self, warp):
+        with warp.single_lane(0):
+            warp.int_op(10)
+        c = warp.counters
+        assert c.warp_inst == 10
+        assert c.thread_inst == 10
+        assert c.predicated_off == 310
+        assert c.predication_ratio == pytest.approx(31 / 32)
+
+    def test_scalar_cond_broadcasts(self, warp):
+        with warp.where(False):
+            assert warp.active_count == 0
+            assert not warp.any_active
+
+
+class TestGlobalMemory:
+    def test_load_gather(self, warp, alloc):
+        d = alloc.to_device(np.arange(100, dtype=np.int64))
+        vals = warp.global_load(d, np.arange(32) * 2)
+        assert vals.tolist() == list(range(0, 64, 2))
+        assert warp.counters.global_ld_inst == 1
+
+    def test_load_inactive_lanes_zero(self, warp, alloc):
+        d = alloc.to_device(np.arange(100, dtype=np.int64))
+        with warp.where(np.arange(32) < 2):
+            vals = warp.global_load(d, np.full(32, 50))
+        assert vals[0] == 50 and vals[2] == 0
+
+    def test_store_scatter(self, warp, alloc):
+        d = alloc.to_device(np.zeros(64, dtype=np.int64))
+        warp.global_store(d, np.arange(32), np.arange(32))
+        assert d.data[:32].tolist() == list(range(32))
+
+    def test_store_respects_mask(self, warp, alloc):
+        d = alloc.to_device(np.zeros(64, dtype=np.int64))
+        with warp.where(np.arange(32) % 2 == 0):
+            warp.global_store(d, np.arange(32), 7)
+        assert d.data[0] == 7 and d.data[1] == 0
+
+    def test_coalesced_vs_random_transactions(self, warp, alloc):
+        d = alloc.to_device(np.zeros(4096, dtype=np.int32))
+        warp.global_load(d, np.arange(32))  # unit stride: 4 sectors
+        coalesced = warp.counters.global_ld_transactions
+        warp.global_load(d, np.arange(32) * 64)  # scattered: 32 sectors
+        scattered = warp.counters.global_ld_transactions - coalesced
+        assert coalesced == 4
+        assert scattered == 32
+
+    def test_span_load(self, warp, alloc):
+        d = alloc.to_device(np.arange(100, dtype=np.uint8))
+        span = warp.global_load_span(d, 10, 70)
+        assert span.tolist() == list(range(10, 80))
+        # 70 bytes: 3 instructions (ceil(70/32)), 3 sectors at most
+        assert warp.counters.global_ld_inst == 3
+        assert warp.counters.global_ld_transactions <= 4
+
+    def test_span_store(self, warp, alloc):
+        d = alloc.to_device(np.ones(100, dtype=np.int64))
+        warp.global_store_span(d, 5, 10, -1)
+        assert (d.data[5:15] == -1).all()
+        assert d.data[4] == 1 and d.data[15] == 1
+        assert warp.counters.global_st_inst == 1
+
+    def test_span_empty(self, warp, alloc):
+        d = alloc.to_device(np.arange(10, dtype=np.uint8))
+        assert warp.global_load_span(d, 0, 0).size == 0
+        warp.global_store_span(d, 0, 0, 0)
+        assert warp.counters.warp_inst == 0  # zero-length spans are free
+
+    def test_gather_span_counts(self, warp, alloc):
+        d = alloc.to_device(np.zeros(10_000, dtype=np.uint8))
+        starts = np.arange(32, dtype=np.int64) * 300  # far apart
+        warp.global_gather_span(d, starts, 21)
+        # 3 word-loads, transactions >= 32 (each lane its own sector)
+        assert warp.counters.global_ld_inst == 3
+        assert warp.counters.global_ld_transactions >= 32
+
+
+class TestAtomics:
+    def test_cas_basic(self, warp, alloc):
+        d = alloc.to_device(np.full(8, -1, dtype=np.int64))
+        with warp.single_lane(0):
+            old = warp.atomic_cas(d, 3, -1, 42)
+        assert old[0] == -1
+        assert d.data[3] == 42
+
+    def test_cas_failure_returns_current(self, warp, alloc):
+        d = alloc.to_device(np.full(8, 5, dtype=np.int64))
+        with warp.single_lane(0):
+            old = warp.atomic_cas(d, 0, -1, 42)
+        assert old[0] == 5
+        assert d.data[0] == 5
+
+    def test_cas_contention_single_winner(self, warp, alloc):
+        """All 32 lanes CAS the same empty slot: exactly one wins and the
+        losers observe the winner's value (deterministic lane order)."""
+        d = alloc.to_device(np.full(4, -1, dtype=np.int64))
+        old = warp.atomic_cas(d, np.zeros(32, dtype=np.int64), -1, np.arange(32) + 100)
+        assert old[0] == -1  # lane 0 wins
+        assert (old[1:] == 100).all()  # losers see lane 0's value
+        assert d.data[0] == 100
+        assert warp.counters.labels["atomic_conflicts"] == 31
+
+    def test_atomic_add_accumulates(self, warp, alloc):
+        d = alloc.to_device(np.zeros(4, dtype=np.int64))
+        warp.atomic_add(d, np.zeros(32, dtype=np.int64), 1)
+        assert d.data[0] == 32
+
+    def test_atomic_add_returns_old(self, warp, alloc):
+        d = alloc.to_device(np.zeros(4, dtype=np.int64))
+        old = warp.atomic_add(d, np.zeros(32, dtype=np.int64), 1)
+        assert old.tolist() == list(range(32))
+
+    def test_atomic_max(self, warp, alloc):
+        d = alloc.to_device(np.zeros(4, dtype=np.int64))
+        warp.atomic_max(d, np.zeros(32, dtype=np.int64), np.arange(32))
+        assert d.data[0] == 31
+
+
+class TestIntrinsics:
+    def test_shfl_broadcast(self, warp):
+        vals = np.arange(32)
+        out = warp.shfl(vals, 7)
+        assert (out == 7).all()
+        assert warp.counters.shuffle_inst == 1
+
+    def test_ballot(self, warp):
+        mask = warp.ballot(np.arange(32) < 3)
+        assert mask == 0b111
+
+    def test_ballot_respects_active_mask(self, warp):
+        with warp.where(np.arange(32) >= 2):
+            mask = warp.ballot(np.arange(32) < 3)
+        assert mask == 0b100
+
+    def test_match_any(self, warp):
+        vals = np.zeros(32, dtype=np.int64)
+        vals[::2] = 1
+        masks = warp.match_any(vals)
+        even = sum(1 << i for i in range(0, 32, 2))
+        odd = sum(1 << i for i in range(1, 32, 2))
+        assert masks[0] == even and masks[1] == odd
+
+    def test_match_any_inactive_zero(self, warp):
+        with warp.where(np.arange(32) < 4):
+            masks = warp.match_any(np.zeros(32, dtype=np.int64))
+        assert masks[0] == 0b1111 and masks[10] == 0
+
+    def test_sync_counts(self, warp):
+        warp.sync()
+        assert warp.counters.sync_inst == 1
+
+    def test_lane_value_shape_validation(self, warp, alloc):
+        d = alloc.to_device(np.zeros(8, dtype=np.int64))
+        with pytest.raises(ValueError):
+            warp.global_load(d, np.arange(5))
+
+
+class TestInstructionClasses:
+    def test_breakdown(self, warp, alloc):
+        d = alloc.to_device(np.zeros(64, dtype=np.int64))
+        warp.int_op(3)
+        warp.fp_op(2)
+        warp.control_op(1)
+        warp.local_load(2)
+        warp.local_store(1)
+        warp.global_load(d, np.arange(32))
+        b = warp.counters.breakdown()
+        assert b["int_inst"] == 3
+        assert b["fp_inst"] == 2
+        assert b["control_inst"] == 1
+        assert b["local_memory_inst"] == 3
+        assert b["global_memory_inst"] == 1
+        assert warp.counters.local_transactions > 0

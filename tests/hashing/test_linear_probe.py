@@ -1,0 +1,99 @@
+"""Linear-probe table tests, incl. a property test against a dict model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.linear_probe import EMPTY_KEY, LinearProbeTable, probe_distance_stats
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        t = LinearProbeTable(16)
+        slot, inserted = t.insert(42)
+        assert inserted
+        assert t.lookup(42) == slot
+        assert 42 in t
+        assert t.lookup(43) == -1
+        assert len(t) == 1
+
+    def test_duplicate_insert(self):
+        t = LinearProbeTable(8)
+        s1, i1 = t.insert(7)
+        s2, i2 = t.insert(7)
+        assert i1 and not i2 and s1 == s2
+        assert len(t) == 1
+
+    def test_collisions_probe_linearly(self):
+        t = LinearProbeTable(4)
+        # same start slot forced via explicit hash values
+        s1, _ = t.insert(100, hash_value=0)
+        s2, _ = t.insert(200, hash_value=0)
+        s3, _ = t.insert(300, hash_value=0)
+        assert (s1, s2, s3) == (0, 1, 2)
+        assert t.lookup(200, hash_value=0) == 1
+        # absent key: probing stops at the first empty slot
+        assert t.lookup(999, hash_value=0) == -1
+
+    def test_wraparound(self):
+        t = LinearProbeTable(4)
+        t.insert(1, hash_value=3)
+        s, _ = t.insert(2, hash_value=3)
+        assert s == 0  # wrapped
+
+    def test_full_table_raises(self):
+        t = LinearProbeTable(2)
+        t.insert(1)
+        t.insert(2)
+        with pytest.raises(RuntimeError, match="full"):
+            t.insert(3)
+
+    def test_sentinel_rejected(self):
+        t = LinearProbeTable(4)
+        with pytest.raises(ValueError):
+            t.insert(int(EMPTY_KEY))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LinearProbeTable(0)
+
+    def test_load_factor_and_stats(self):
+        t = LinearProbeTable(10)
+        for i in range(5):
+            t.insert(i)
+        assert t.load_factor == 0.5
+        stats = probe_distance_stats(t)
+        assert stats["mean_probes_per_insert"] >= 1.0
+        assert probe_distance_stats(LinearProbeTable(4))["mean_probes_per_insert"] == 0
+
+    def test_occupied_slots(self):
+        t = LinearProbeTable(8)
+        t.insert(5, hash_value=2)
+        assert t.occupied_slots().tolist() == [2]
+
+
+class TestAgainstDictModel:
+    @given(st.lists(st.integers(0, 2**63), min_size=0, max_size=60))
+    def test_membership_matches_set(self, keys):
+        t = LinearProbeTable(128)
+        model: dict[int, int] = {}
+        for k in keys:
+            slot, inserted = t.insert(k)
+            if k in model:
+                assert not inserted
+                assert slot == model[k]
+            else:
+                assert inserted
+                model[k] = slot
+        for k in model:
+            assert t.lookup(k) == model[k]
+        assert len(t) == len(model)
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50, unique=True))
+    def test_near_full_still_correct(self, keys):
+        t = LinearProbeTable(len(keys))  # load factor 1.0
+        for k in keys:
+            t.insert(k)
+        for k in keys:
+            assert t.lookup(k) >= 0

@@ -1,0 +1,82 @@
+"""Tests for the alignment kernels."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.aln_kernel import smith_waterman_banded, ungapped_align
+from repro.sequence.dna import encode, random_dna
+
+
+class TestUngapped:
+    def test_read_inside_contig(self):
+        contig = encode("AAAACGTACGTTTT")
+        read = encode("ACGTACG")  # matches contig[3:10]
+        aln = ungapped_align(contig, read, contig_pos=3, read_pos=0)
+        assert aln.offset == 3
+        assert aln.ov_len == 7
+        assert aln.mismatches == 0
+        assert aln.identity == 1.0
+
+    def test_read_hangs_off_right(self):
+        contig = encode("AAAACGTA")
+        read = encode("CGTACCCC")
+        aln = ungapped_align(contig, read, contig_pos=4, read_pos=0)
+        assert aln.offset == 4
+        assert aln.ov_end == 8 and aln.ov_len == 4
+
+    def test_read_hangs_off_left(self):
+        contig = encode("CGTAAAAA")
+        read = encode("TTTTCGTA")
+        aln = ungapped_align(contig, read, contig_pos=0, read_pos=4)
+        assert aln.offset == -4
+        assert aln.ov_start == 0 and aln.ov_len == 4
+        assert aln.mismatches == 0
+
+    def test_mismatches_counted(self):
+        contig = encode("ACGTACGT")
+        read = encode("ACGAACGT")
+        aln = ungapped_align(contig, read, 0, 0)
+        assert aln.mismatches == 1
+        assert aln.matches == 7
+
+    def test_disjoint_is_empty(self):
+        contig = encode("ACGT")
+        read = encode("ACGT")
+        aln = ungapped_align(contig, read, contig_pos=10, read_pos=0)
+        assert aln.ov_len == 0 and aln.identity == 0.0
+
+
+class TestSmithWaterman:
+    def test_perfect_match(self):
+        a = encode("ACGTACGTAC")
+        res = smith_waterman_banded(a, a)
+        assert res.score == 10
+        assert res.end_a == 10 and res.end_b == 10
+
+    def test_substring(self):
+        a = encode("CGTAC")
+        b = encode("AACGTACTT")
+        res = smith_waterman_banded(a, b, band=8)
+        assert res.score == 5
+
+    def test_mismatch_penalty(self):
+        a = encode("ACGTACGTAC")
+        b = encode("ACGTGCGTAC")
+        res = smith_waterman_banded(a, b)
+        assert res.score == 8  # 9 matches - 1 mismatch
+
+    def test_single_gap(self):
+        a = encode("ACGTACGT")
+        b = encode("ACGTTACGT")  # one inserted T
+        res = smith_waterman_banded(a, b, band=4)
+        assert res.score >= 8 - 2  # 8 matches - 1 gap
+
+    def test_empty(self):
+        assert smith_waterman_banded(encode(""), encode("ACGT")).score == 0
+
+    def test_local_ignores_bad_prefix(self, rng):
+        core = random_dna(30, rng)
+        a = encode("TTTTTTTT" + core)
+        b = encode("GGGGGGGG" + core)
+        res = smith_waterman_banded(a, b, band=6)
+        assert res.score >= 28  # the shared core dominates

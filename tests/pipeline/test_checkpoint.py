@@ -1,0 +1,97 @@
+"""Tests for pipeline checkpointing (MHM2 --checkpoint analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.pipeline.checkpoint import (
+    checkpoint_key,
+    load_contigs_checkpoint,
+    save_contigs_checkpoint,
+)
+from repro.pipeline.contigs import Contig, ContigSet
+from repro.sequence.community import arcticsynth_like, sample_paired_reads
+
+
+@pytest.fixture(scope="module")
+def reads():
+    rng = np.random.default_rng(55)
+    comm = arcticsynth_like(rng, n_genomes=2, genome_length=5000)
+    return sample_paired_reads(comm, 600, rng)
+
+
+class TestKeying:
+    def test_key_deterministic(self, reads):
+        cfg = PipelineConfig()
+        assert checkpoint_key(reads, cfg) == checkpoint_key(reads, cfg)
+
+    def test_key_changes_with_upstream_params(self, reads):
+        a = checkpoint_key(reads, PipelineConfig(k_series=(21,)))
+        b = checkpoint_key(reads, PipelineConfig(k_series=(33,)))
+        c = checkpoint_key(reads, PipelineConfig(min_kmer_count=3))
+        assert len({a, b, c}) == 3
+
+    def test_key_ignores_downstream_params(self, reads):
+        a = checkpoint_key(reads, PipelineConfig(local_assembly_mode="cpu"))
+        b = checkpoint_key(reads, PipelineConfig(local_assembly_mode="gpu"))
+        assert a == b
+
+    def test_key_changes_with_reads(self, reads, rng):
+        comm = arcticsynth_like(rng, n_genomes=2, genome_length=5000)
+        other = sample_paired_reads(comm, 600, rng)
+        cfg = PipelineConfig()
+        assert checkpoint_key(reads, cfg) != checkpoint_key(other, cfg)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        contigs = ContigSet([Contig(0, "ACGTACGT", 3.5), Contig(7, "GGCC", 1.0)])
+        save_contigs_checkpoint(tmp_path, contigs, "k1", 42)
+        loaded = load_contigs_checkpoint(tmp_path, "k1")
+        assert loaded is not None
+        back, n = loaded
+        assert n == 42
+        assert [(c.cid, c.seq, c.depth) for c in back] == [
+            (0, "ACGTACGT", 3.5), (7, "GGCC", 1.0),
+        ]
+
+    def test_wrong_key_rejected(self, tmp_path):
+        save_contigs_checkpoint(tmp_path, ContigSet([Contig(0, "ACGT")]), "k1", 0)
+        assert load_contigs_checkpoint(tmp_path, "other") is None
+
+    def test_missing_dir(self, tmp_path):
+        assert load_contigs_checkpoint(tmp_path / "nope", "k") is None
+
+    def test_corrupt_meta(self, tmp_path):
+        save_contigs_checkpoint(tmp_path, ContigSet([Contig(0, "ACGT")]), "k1", 0)
+        (tmp_path / "contigs_checkpoint.json").write_text("{broken")
+        assert load_contigs_checkpoint(tmp_path, "k1") is None
+
+    def test_empty_contigs(self, tmp_path):
+        save_contigs_checkpoint(tmp_path, ContigSet([]), "k1", 0)
+        back, _ = load_contigs_checkpoint(tmp_path, "k1")
+        assert len(back) == 0
+
+
+class TestPipelineResume:
+    def test_resume_gives_identical_assembly(self, reads, tmp_path):
+        cfg = PipelineConfig(run_scaffolding=False)
+        first = run_pipeline(reads, cfg, checkpoint_dir=str(tmp_path))
+        assert (tmp_path / "contigs_checkpoint.npz").exists()
+        second = run_pipeline(reads, cfg, checkpoint_dir=str(tmp_path))
+        assert [c.seq for c in first.contigs] == [c.seq for c in second.contigs]
+        # the resumed run skipped the de Bruijn prefix
+        assert "k-mer analysis" not in second.times.seconds
+        assert "contig generation" not in second.times.seconds
+        assert second.n_distinct_kmers == first.n_distinct_kmers
+
+    def test_changed_params_invalidate(self, reads, tmp_path):
+        run_pipeline(reads, PipelineConfig(run_scaffolding=False),
+                     checkpoint_dir=str(tmp_path))
+        res = run_pipeline(
+            reads,
+            PipelineConfig(k_series=(33,), run_scaffolding=False),
+            checkpoint_dir=str(tmp_path),
+        )
+        # k changed -> the prefix re-ran
+        assert "k-mer analysis" in res.times.seconds

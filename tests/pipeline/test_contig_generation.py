@@ -1,0 +1,122 @@
+"""Tests for de Bruijn contig generation (unitig traversal)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.contig_generation import KmerGraph, generate_contigs
+from repro.pipeline.kmer_analysis import analyze_kmers
+from repro.sequence.dna import random_dna, revcomp
+from repro.sequence.read import ReadBatch
+
+
+def assemble(reads: list[str], k: int, min_count=2, min_depth=2, min_len=None):
+    ck = analyze_kmers(ReadBatch.from_strings(reads), k, min_count=min_count, min_depth=min_depth)
+    return generate_contigs(ck, min_len)
+
+
+def tile(genome: str, read_len=40, stride=5) -> list[str]:
+    """Error-free reads tiling a genome (both 2x coverage via stride)."""
+    return [
+        genome[i : i + read_len]
+        for i in range(0, len(genome) - read_len + 1, stride)
+    ]
+
+
+class TestReconstruction:
+    def test_single_contig_from_clean_genome(self, rng):
+        genome = random_dna(400, rng)
+        contigs = assemble(tile(genome), 21)
+        assert len(contigs) == 1
+        seq = contigs[0].seq
+        assert seq == genome or seq == revcomp(genome) or seq in genome or revcomp(seq) in genome
+        # the contig must recover almost the whole genome
+        assert len(seq) >= len(genome) - 2 * 21
+
+    def test_depth_reflects_coverage(self, rng):
+        genome = random_dna(300, rng)
+        contigs = assemble(tile(genome, stride=2), 21)
+        assert len(contigs) == 1
+        assert contigs[0].depth > 5
+
+    def test_deterministic(self, rng):
+        genome = random_dna(500, rng)
+        a = assemble(tile(genome), 21)
+        b = assemble(tile(genome), 21)
+        assert [c.seq for c in a] == [c.seq for c in b]
+
+    def test_repeat_splits_contigs(self, rng):
+        """A repeat longer than k creates forks that split the assembly."""
+        u1, u2, u3 = (random_dna(150, rng) for _ in range(3))
+        rep = random_dna(60, rng)
+        genome = u1 + rep + u2 + rep + u3
+        contigs = assemble(tile(genome), 21)
+        assert len(contigs) >= 3  # unique arms + repeat unitig
+
+    def test_two_genomes_two_contigs(self, rng):
+        g1, g2 = random_dna(300, rng), random_dna(300, rng)
+        contigs = assemble(tile(g1) + tile(g2), 21)
+        assert len(contigs) == 2
+
+    def test_min_contig_len_filter(self, rng):
+        genome = random_dna(200, rng)
+        all_c = assemble(tile(genome), 21, min_len=0)
+        filtered = assemble(tile(genome), 21, min_len=10**6)
+        assert len(all_c) >= 1 and len(filtered) == 0
+
+
+class TestInvariants:
+    def test_kmers_emitted_once(self, rng):
+        """No k-mer appears in two contigs (traversal marks visited)."""
+        from repro.sequence.kmer import canonical, iter_kmers
+
+        genome = random_dna(600, rng)
+        contigs = assemble(tile(genome), 21)
+        seen = set()
+        for c in contigs:
+            for km in iter_kmers(c.seq, 21):
+                cc = canonical(km)
+                assert cc not in seen
+                seen.add(cc)
+
+    def test_contig_kmers_exist_in_reads(self, rng):
+        from repro.sequence.kmer import canonical, iter_kmers
+
+        genome = random_dna(400, rng)
+        reads = tile(genome)
+        read_kmers = {canonical(m) for r in reads for m in iter_kmers(r, 21)}
+        for c in assemble(reads, 21):
+            for km in iter_kmers(c.seq, 21):
+                assert canonical(km) in read_kmers
+
+    def test_circular_genome_terminates(self, rng):
+        """A circular chromosome (cycle in the graph) must not loop."""
+        core = random_dna(300, rng)
+        circular = core + core[:60]  # wrap-around reads
+        contigs = assemble(tile(circular), 21)
+        assert len(contigs) >= 1
+        assert all(len(c.seq) <= len(circular) + 21 for c in contigs)
+
+
+class TestKmerGraph:
+    def test_find_both_orientations(self, rng):
+        genome = random_dna(200, rng)
+        ck = analyze_kmers(ReadBatch.from_strings(tile(genome)), 21, 2, 2)
+        graph = KmerGraph(ck)
+        km = ck.spectrum.kmer(0)
+        row, is_rc = graph.find(km)
+        assert row == 0 and not is_rc
+        row2, is_rc2 = graph.find(revcomp(km))
+        assert row2 == 0 and is_rc2
+
+    def test_find_absent(self, rng):
+        genome = random_dna(200, rng)
+        ck = analyze_kmers(ReadBatch.from_strings(tile(genome)), 21, 2, 2)
+        graph = KmerGraph(ck)
+        assert graph.find("A" * 21) is None or graph.find("A" * 21)[0] >= 0
+
+    def test_oriented_ext_side_validation(self, rng):
+        genome = random_dna(200, rng)
+        ck = analyze_kmers(ReadBatch.from_strings(tile(genome)), 21, 2, 2)
+        graph = KmerGraph(ck)
+        with pytest.raises(ValueError):
+            graph.oriented_ext(0, False, "up")

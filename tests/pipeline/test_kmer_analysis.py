@@ -1,0 +1,76 @@
+"""Tests for extension classification (UNIQUE / FORK / DEADEND)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.kmer_analysis import (
+    ExtVerdict,
+    analyze_kmers,
+    classify_extensions,
+)
+from repro.sequence.read import ReadBatch
+
+
+class TestClassify:
+    def test_unique(self):
+        counts = np.array([[5, 0, 0, 0, 2]])
+        v, b = classify_extensions(counts, min_depth=2)
+        assert v[0] == ExtVerdict.UNIQUE and b[0] == 0
+
+    def test_fork(self):
+        counts = np.array([[5, 4, 0, 0, 0]])
+        v, _ = classify_extensions(counts, min_depth=2)
+        assert v[0] == ExtVerdict.FORK
+
+    def test_deadend(self):
+        counts = np.array([[1, 1, 0, 0, 9]])
+        v, _ = classify_extensions(counts, min_depth=2)
+        assert v[0] == ExtVerdict.DEADEND
+
+    def test_none_column_never_votes(self):
+        counts = np.array([[0, 0, 0, 0, 100]])
+        v, _ = classify_extensions(counts, min_depth=2)
+        assert v[0] == ExtVerdict.DEADEND
+
+    def test_min_depth_threshold(self):
+        counts = np.array([[1, 0, 0, 0, 0]])
+        v1, _ = classify_extensions(counts, min_depth=1)
+        v2, _ = classify_extensions(counts, min_depth=2)
+        assert v1[0] == ExtVerdict.UNIQUE
+        assert v2[0] == ExtVerdict.DEADEND
+
+
+class TestAnalyze:
+    def test_uu_chain(self):
+        # Error-free reads tiling a random genome: with k=21 all k-mers are
+        # distinct, so every interior k-mer is UU and only the two terminal
+        # ones dead-end on one side.
+        from repro.sequence.dna import random_dna
+
+        genome = random_dna(100, np.random.default_rng(3))
+        reads = [genome[i : i + 60] for i in range(0, 41, 4)]
+        ck = analyze_kmers(ReadBatch.from_strings(reads), 21, min_count=2, min_depth=2)
+        assert len(ck) > 0
+        assert ck.n_uu() == len(ck) - 2
+
+    def test_fork_from_divergent_reads(self):
+        shared = "ACGTACGTCC"
+        reads = [shared + "A"] * 5 + [shared + "T"] * 5
+        ck = analyze_kmers(ReadBatch.from_strings(reads), 5, min_count=2, min_depth=2)
+        kmers = {ck.spectrum.kmer(i): i for i in range(len(ck))}
+        # The k-mer ending at the divergence point is a fork on one side
+        # (which side depends on canonical orientation).
+        from repro.sequence.kmer import canonical
+
+        i = kmers[canonical("CGTCC")]
+        side_verdicts = {int(ck.left_verdict[i]), int(ck.right_verdict[i])}
+        assert ExtVerdict.FORK in side_verdicts
+
+    def test_singletons_dropped(self):
+        from repro.sequence.kmer import canonical, kmers_of
+
+        reads = ["ACGTACGTAC"] * 3 + ["CTAGGCATTC"]  # last read seen once
+        ck = analyze_kmers(ReadBatch.from_strings(reads), 5, min_count=2)
+        kmers = {ck.spectrum.kmer(i) for i in range(len(ck))}
+        for km in kmers_of("CTAGGCATTC", 5):
+            assert canonical(km) not in kmers

@@ -1,0 +1,114 @@
+"""Tests for the merge-reads stage."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pipeline.merge_reads import find_overlap, merge_read_pairs
+from repro.sequence.dna import encode, random_dna, revcomp
+from repro.sequence.read import Read, ReadBatch
+
+
+class TestFindOverlap:
+    def test_exact_overlap(self):
+        a = encode("AAAACGTACGT")
+        b = encode("CGTACGTTTTT")
+        assert find_overlap(a, b, min_overlap=5) == 7
+
+    def test_no_overlap(self):
+        a = encode("AAAAAAAAAA")
+        b = encode("CCCCCCCCCC")
+        assert find_overlap(a, b, min_overlap=4) == 0
+
+    def test_min_overlap_respected(self):
+        a = encode("AAAACG")
+        b = encode("CGTTTT")
+        assert find_overlap(a, b, min_overlap=3) == 0
+        assert find_overlap(a, b, min_overlap=2) == 2
+
+    def test_mismatch_tolerance(self):
+        a = encode("AAAA" + "ACGTACGTAC")
+        b_clean = "ACGTACGTAC" + "TTTT"
+        b_noisy = "ACGAACGTAC" + "TTTT"  # 1 mismatch in 10
+        assert find_overlap(a, encode(b_clean), min_overlap=5) == 10
+        assert find_overlap(a, encode(b_noisy), min_overlap=5, max_mismatch_frac=0.15) == 10
+        assert find_overlap(a, encode(b_noisy), min_overlap=5, max_mismatch_frac=0.05) == 0
+
+    def test_takes_longest(self):
+        """Prefers the longest acceptable overlap (scans top-down)."""
+        a = encode("ACAC")
+        b = encode("ACAC")
+        assert find_overlap(a, b, min_overlap=2) == 4
+
+
+def _pair_batch(r1: str, r2_fragment_oriented: str) -> ReadBatch:
+    """Build an interleaved pair; read 2 is stored reverse-complemented,
+    as sequencers emit it."""
+    return ReadBatch.from_reads(
+        [Read("p/1", r1), Read("p/2", revcomp(r2_fragment_oriented))],
+        paired=True,
+    )
+
+
+class TestMergePairs:
+    def test_overlapping_pair_merges(self, rng):
+        frag = random_dna(160, rng)
+        batch = _pair_batch(frag[:100], frag[60:160])
+        merged, stats = merge_read_pairs(batch)
+        assert stats.n_merged == 1
+        assert len(merged) == 1
+        assert merged.seq(0) == frag
+
+    def test_non_overlapping_pair_kept(self, rng):
+        frag = random_dna(400, rng)
+        batch = _pair_batch(frag[:100], frag[300:400])
+        merged, stats = merge_read_pairs(batch)
+        assert stats.n_merged == 0
+        assert len(merged) == 2
+        assert merged.seq(0) == frag[:100]
+
+    def test_consensus_prefers_higher_quality(self, rng):
+        frag = random_dna(150, rng)
+        r1 = frag[:100]
+        r2 = frag[50:150]
+        # corrupt r1's base at fragment position 60 with low quality
+        r1_bad = r1[:60] + ("A" if r1[60] != "A" else "C") + r1[61:]
+        batch = ReadBatch.from_reads(
+            [
+                Read("p/1", r1_bad, tuple([40] * 60 + [2] + [40] * 39)),
+                Read("p/2", revcomp(r2), (40,) * 100),
+            ],
+            paired=True,
+        )
+        merged, stats = merge_read_pairs(batch)
+        assert stats.n_merged == 1
+        assert merged.seq(0) == frag  # high-quality mate base won
+
+    def test_merged_stats(self, rng):
+        frag = random_dna(160, rng)
+        batch = _pair_batch(frag[:100], frag[60:160])
+        _, stats = merge_read_pairs(batch)
+        assert stats.merge_rate == 1.0
+        assert stats.mean_merged_length == 160
+
+    def test_requires_paired(self):
+        with pytest.raises(ValueError):
+            merge_read_pairs(ReadBatch.from_strings(["ACGT"]))
+
+    def test_order_preserved(self, rng):
+        f1, f2 = random_dna(160, rng), random_dna(400, rng)
+        b = ReadBatch.concat(
+            [_pair_batch(f1[:100], f1[60:160]), _pair_batch(f2[:100], f2[300:])]
+        )
+        b = ReadBatch(b.bases, b.quals, b.offsets, b.names, paired=True)
+        merged, stats = merge_read_pairs(b)
+        assert stats.n_merged == 1
+        assert merged.seq(0) == f1  # merged pair first
+        assert merged.seq(1) == f2[:100]
+
+    def test_quality_boost_capped(self, rng):
+        frag = random_dna(150, rng)
+        batch = _pair_batch(frag[:100], frag[50:150])
+        merged, _ = merge_read_pairs(batch)
+        assert merged.quals.max() <= 41

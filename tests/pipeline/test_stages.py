@@ -1,0 +1,56 @@
+"""Tests for stage-time accounting."""
+
+import time
+
+from repro.pipeline.stages import STAGES, StageTimes
+
+
+class TestStageTimes:
+    def test_stage_accumulates(self):
+        t = StageTimes()
+        with t.stage("alignment"):
+            time.sleep(0.01)
+        with t.stage("alignment"):
+            time.sleep(0.01)
+        assert t.seconds["alignment"] >= 0.02
+
+    def test_add(self):
+        t = StageTimes()
+        t.add("file IO", 1.5)
+        t.add("file IO", 0.5)
+        assert t.seconds["file IO"] == 2.0
+
+    def test_total_and_fractions(self):
+        t = StageTimes()
+        t.add("a", 3.0)
+        t.add("b", 1.0)
+        assert t.total() == 4.0
+        f = t.fractions()
+        assert f["a"] == 0.75 and f["b"] == 0.25
+
+    def test_fractions_empty(self):
+        assert StageTimes().fractions() == {}
+
+    def test_exception_still_recorded(self):
+        t = StageTimes()
+        try:
+            with t.stage("merge reads"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "merge reads" in t.seconds
+
+    def test_str_lists_known_stages_in_order(self):
+        t = StageTimes()
+        t.add("scaffolding", 1.0)
+        t.add("merge reads", 2.0)
+        t.add("custom stage", 0.5)
+        text = str(t)
+        assert text.index("merge reads") < text.index("scaffolding")
+        assert "custom stage" in text
+        assert "total" in text
+
+    def test_paper_stage_names(self):
+        assert "local assembly" in STAGES
+        assert "aln kernel" in STAGES
+        assert len(STAGES) == 8

@@ -1,0 +1,116 @@
+"""Unit and property tests for the DNA codec layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequence.dna import (
+    BASE_TO_CODE,
+    N_CODE,
+    complement_base,
+    decode,
+    encode,
+    gc_content,
+    hamming_distance,
+    is_valid_dna,
+    random_dna,
+    revcomp,
+    revcomp_codes,
+)
+
+dna_strings = st.text(alphabet="ACGT", min_size=0, max_size=200)
+dna_with_n = st.text(alphabet="ACGTN", min_size=0, max_size=200)
+
+
+class TestEncodeDecode:
+    def test_known_codes(self):
+        assert encode("ACGTN").tolist() == [0, 1, 2, 3, 4]
+
+    def test_lowercase_accepted(self):
+        assert encode("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_unknown_chars_become_n(self):
+        assert encode("AXZ-").tolist() == [0, 4, 4, 4]
+
+    def test_empty(self):
+        assert encode("").size == 0
+        assert decode(np.empty(0, dtype=np.uint8)) == ""
+
+    @given(dna_with_n)
+    def test_roundtrip(self, s):
+        assert decode(encode(s)) == s
+
+    def test_decode_clips_out_of_range_codes(self):
+        assert decode(np.array([0, 9, 250], dtype=np.uint8)) == "ANN"
+
+    def test_lookup_table_covers_all_bytes(self):
+        assert BASE_TO_CODE.shape == (256,)
+        assert int(BASE_TO_CODE.max()) == int(N_CODE)
+
+
+class TestRevcomp:
+    def test_known(self):
+        assert revcomp("AACG") == "CGTT"
+
+    def test_n_preserved(self):
+        assert revcomp("ANT") == "ANT"
+        assert revcomp("NAC") == "GTN"
+
+    @given(dna_with_n)
+    def test_involution(self, s):
+        assert revcomp(revcomp(s)) == s
+
+    @given(dna_strings)
+    def test_codes_and_string_agree(self, s):
+        assert decode(revcomp_codes(encode(s))) == revcomp(s)
+
+    def test_complement_base(self):
+        assert [complement_base(b) for b in "ACGTN"] == ["T", "G", "C", "A", "N"]
+        with pytest.raises(ValueError):
+            complement_base("X")
+
+
+class TestPredicates:
+    def test_is_valid(self):
+        assert is_valid_dna("ACGT")
+        assert is_valid_dna("ACGTN")
+        assert not is_valid_dna("ACGTN", allow_n=False)
+        assert not is_valid_dna("ACGU")
+
+    def test_gc_content(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("AATT") == 0.0
+        assert gc_content("ACGT") == 0.5
+        assert gc_content("NNNN") == 0.0
+        assert gc_content("") == 0.0
+
+    def test_gc_ignores_n(self):
+        assert gc_content("GNNA") == 0.5
+
+    def test_hamming(self):
+        assert hamming_distance("ACGT", "ACGT") == 0
+        assert hamming_distance("ACGT", "ACGA") == 1
+        assert hamming_distance("", "") == 0
+        with pytest.raises(ValueError):
+            hamming_distance("A", "AA")
+
+
+class TestRandomDna:
+    def test_deterministic(self):
+        a = random_dna(100, np.random.default_rng(1))
+        b = random_dna(100, np.random.default_rng(1))
+        assert a == b
+
+    def test_length_and_alphabet(self):
+        s = random_dna(500, np.random.default_rng(2))
+        assert len(s) == 500
+        assert set(s) <= set("ACGT")
+
+    def test_gc_target(self):
+        s = random_dna(20000, np.random.default_rng(3), gc=0.7)
+        assert abs(gc_content(s) - 0.7) < 0.02
+
+    def test_gc_validation(self):
+        with pytest.raises(ValueError):
+            random_dna(10, np.random.default_rng(0), gc=1.5)

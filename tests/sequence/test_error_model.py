@@ -1,0 +1,65 @@
+"""Tests for the Illumina error model."""
+
+import numpy as np
+import pytest
+
+from repro.sequence.error_model import PERFECT, IlluminaErrorModel
+
+
+class TestValidation:
+    def test_bad_rates(self):
+        with pytest.raises(ValueError):
+            IlluminaErrorModel(rate_start=-0.1)
+        with pytest.raises(ValueError):
+            IlluminaErrorModel(rate_end=1.0)
+
+    def test_rates_ramp(self):
+        m = IlluminaErrorModel(rate_start=0.001, rate_end=0.01)
+        r = m.error_rates(100)
+        assert r[0] == pytest.approx(0.001)
+        assert r[-1] == pytest.approx(0.01)
+        assert np.all(np.diff(r) >= 0)
+
+    def test_single_base_read(self):
+        assert IlluminaErrorModel().error_rates(1).shape == (1,)
+
+
+class TestApply:
+    def test_perfect_model_unchanged(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 4, size=(10, 50)).astype(np.uint8)
+        out, quals, err = PERFECT.apply(codes, rng)
+        assert np.array_equal(out, codes)
+        assert not err.any()
+        assert quals.min() >= 2 and quals.max() <= 41
+
+    def test_errors_are_substitutions(self):
+        rng = np.random.default_rng(1)
+        m = IlluminaErrorModel(rate_start=0.5, rate_end=0.5)
+        codes = np.zeros((20, 100), dtype=np.uint8)  # all A
+        out, _, err = m.apply(codes, rng)
+        assert err.mean() == pytest.approx(0.5, abs=0.05)
+        # every flagged position changed to a different base
+        assert np.all(out[err] != 0)
+        assert np.all(out[err] < 4)
+        # unflagged positions unchanged
+        assert np.all(out[~err] == 0)
+
+    def test_error_rate_statistics(self):
+        rng = np.random.default_rng(2)
+        m = IlluminaErrorModel(rate_start=0.01, rate_end=0.01, qual_jitter=0)
+        codes = np.zeros((200, 150), dtype=np.uint8)
+        _, quals, err = m.apply(codes, rng)
+        assert err.mean() == pytest.approx(0.01, rel=0.2)
+        # q = -10 log10(0.01) = 20 with no jitter
+        assert np.all(quals == 20)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            PERFECT.apply(np.zeros(10, dtype=np.uint8), np.random.default_rng(0))
+
+    def test_expected_error_free_fraction(self):
+        m = IlluminaErrorModel(rate_start=0.0, rate_end=0.0)
+        assert m.expected_error_free_fraction(100) == 1.0
+        m2 = IlluminaErrorModel(rate_start=0.01, rate_end=0.01)
+        assert m2.expected_error_free_fraction(100) == pytest.approx(0.99**100, rel=1e-6)

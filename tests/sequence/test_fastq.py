@@ -1,0 +1,92 @@
+"""FASTQ/FASTA I/O tests, including gzip and malformed inputs."""
+
+import pytest
+
+from repro.sequence.fastq import (
+    FastqFormatError,
+    load_read_batch,
+    parse_fastq,
+    read_fasta,
+    read_fastq,
+    save_read_batch,
+    write_fasta,
+    write_fastq,
+)
+from repro.sequence.read import Read, ReadBatch
+
+
+@pytest.fixture
+def reads():
+    return [
+        Read("r1/1", "ACGTACGT", (30,) * 8),
+        Read("r1/2", "TTGGCCAA", (20,) * 8),
+    ]
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path, reads):
+        p = tmp_path / "x.fastq"
+        assert write_fastq(p, reads) == 2
+        back = list(read_fastq(p))
+        assert back == reads
+
+    def test_gzip_roundtrip(self, tmp_path, reads):
+        p = tmp_path / "x.fastq.gz"
+        write_fastq(p, reads)
+        assert list(read_fastq(p)) == reads
+
+    def test_batch_roundtrip(self, tmp_path, reads):
+        p = tmp_path / "b.fastq"
+        save_read_batch(p, ReadBatch.from_reads(reads, paired=True))
+        b = load_read_batch(p)
+        assert b.paired and len(b) == 2 and b.seq(0) == "ACGTACGT"
+
+    def test_header_name_truncated_at_space(self):
+        rec = "@name extra stuff\nACGT\n+\nIIII\n"
+        (r,) = list(parse_fastq(rec.splitlines(True)))
+        assert r.name == "name"
+
+    def test_lowercase_uppercased(self):
+        rec = "@n\nacgt\n+\nIIII\n"
+        (r,) = list(parse_fastq(rec.splitlines(True)))
+        assert r.seq == "ACGT"
+
+    def test_bad_header(self):
+        with pytest.raises(FastqFormatError, match="header"):
+            list(parse_fastq("ACGT\nACGT\n+\nIIII\n".splitlines(True)))
+
+    def test_truncated_record(self):
+        with pytest.raises(FastqFormatError, match="truncated"):
+            list(parse_fastq("@n\nACGT\n".splitlines(True)))
+
+    def test_missing_plus(self):
+        with pytest.raises(FastqFormatError, match=r"\+"):
+            list(parse_fastq("@n\nACGT\nIIII\nIIII\n".splitlines(True)))
+
+    def test_qual_length_mismatch(self):
+        with pytest.raises(FastqFormatError, match="length"):
+            list(parse_fastq("@n\nACGT\n+\nII\n".splitlines(True)))
+
+    def test_trailing_blank_lines_ok(self):
+        recs = list(parse_fastq("@n\nACGT\n+\nIIII\n\n\n".splitlines(True)))
+        assert len(recs) == 1
+
+
+class TestFasta:
+    def test_roundtrip_with_wrapping(self, tmp_path):
+        p = tmp_path / "x.fasta"
+        seq = "ACGT" * 50
+        write_fasta(p, [("g1", seq), ("g2", "TTTT")], width=13)
+        back = list(read_fasta(p))
+        assert back == [("g1", seq), ("g2", "TTTT")]
+
+    def test_data_before_header(self, tmp_path):
+        p = tmp_path / "bad.fasta"
+        p.write_text("ACGT\n>x\nACGT\n")
+        with pytest.raises(FastqFormatError):
+            list(read_fasta(p))
+
+    def test_gz(self, tmp_path):
+        p = tmp_path / "x.fasta.gz"
+        write_fasta(p, [("g", "ACGT")])
+        assert list(read_fasta(p)) == [("g", "ACGT")]

@@ -1,0 +1,88 @@
+"""CLI integration tests (generate -> assemble -> stats, scale)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x"])
+        assert args.preset == "arcticsynth" and args.pairs == 5000
+
+    def test_assemble_k_series(self):
+        args = build_parser().parse_args(
+            ["assemble", "r.fastq", "--out", "o", "--k", "21", "33"]
+        )
+        assert args.k == [21, 33]
+
+
+class TestWorkflow:
+    @pytest.fixture(scope="class")
+    def data_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("data")
+        rc = main([
+            "generate", "--out", str(out), "--genomes", "2",
+            "--genome-length", "6000", "--pairs", "500", "--seed", "5",
+        ])
+        assert rc == 0
+        return out
+
+    def test_generate_outputs(self, data_dir):
+        assert (data_dir / "reads.fastq").exists()
+        assert (data_dir / "refs.fasta").exists()
+        abund = (data_dir / "abundances.tsv").read_text().splitlines()
+        assert abund[0].startswith("genome\t")
+        assert len(abund) == 3
+
+    def test_assemble_and_stats(self, data_dir, tmp_path, capsys):
+        out = tmp_path / "asm"
+        rc = main([
+            "assemble", str(data_dir / "reads.fastq"), "--out", str(out),
+            "--mode", "cpu", "--no-scaffold",
+        ])
+        assert rc == 0
+        assert (out / "contigs.fasta").exists()
+        assert not (out / "scaffolds.fasta").exists()
+        report = (out / "report.txt").read_text()
+        assert "file IO" in report and "local assembly" in report
+
+        rc = main(["stats", str(out / "contigs.fasta")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "N50" in captured.out
+
+    def test_assemble_with_scaffolds(self, data_dir, tmp_path):
+        out = tmp_path / "asm2"
+        rc = main([
+            "assemble", str(data_dir / "reads.fastq"), "--out", str(out),
+            "--max-reads-per-end", "20",
+        ])
+        assert rc == 0
+        assert (out / "scaffolds.fasta").exists()
+
+    def test_assemble_rejects_odd_read_count(self, tmp_path):
+        from repro.sequence.fastq import write_fastq
+        from repro.sequence.read import Read
+
+        bad = tmp_path / "odd.fastq"
+        write_fastq(bad, [Read("only", "ACGT" * 10)])
+        rc = main(["assemble", str(bad), "--out", str(tmp_path / "x")])
+        assert rc == 2
+
+    def test_scale_wa(self, capsys):
+        rc = main(["scale", "--dataset", "wa"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "7.02x" in out or "speedup" in out
+        assert "stage shares" in out
+
+    def test_scale_custom_nodes(self, capsys):
+        rc = main(["scale", "--dataset", "arcticsynth", "--nodes", "2", "4"])
+        assert rc == 0
+        assert "4.29x" in capsys.readouterr().out
