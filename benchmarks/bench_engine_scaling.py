@@ -1,0 +1,114 @@
+"""Extension bench — parallel warp-engine scaling.
+
+Sweeps the simulator's ``workers`` knob over the driver workload and
+measures *simulation throughput* (warps/sec of host wall time — not the
+modelled V100 time, which is identical by construction).  Every parallel
+run is also checked bit-identical to the sequential baseline, which is
+the engine's core contract.
+
+Results land in two files under ``benchmarks/results/``:
+
+* ``engine_scaling.txt`` — the human-readable table;
+* ``BENCH_engine.json`` — machine-readable numbers (cores, wall, warps/s,
+  speedup, identity check) for downstream tooling.
+
+Speedup is bounded by the cores actually available: on a single-core
+container the sweep records ~1.0x (plus IPC overhead), which is the
+honest result — the JSON carries ``cpu_cores`` so readers can tell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import record
+
+from repro.analysis.reporting import format_table
+from repro.core.config import LocalAssemblyConfig
+from repro.core.driver import GpuLocalAssembler
+
+CFG = LocalAssemblyConfig(k_init=21, max_walk_len=150)
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _cpu_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run(tasks, workers: int):
+    t0 = time.perf_counter()
+    report = GpuLocalAssembler(CFG, workers=workers).run(tasks)
+    wall = time.perf_counter() - t0
+    return report, wall
+
+
+def bench_engine_scaling(benchmark, driver_workload, engine_workers):
+    tasks = driver_workload
+
+    def sweep():
+        results = {}
+        for w in engine_workers:
+            results[w] = _run(tasks, w)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    base_report, base_wall = results[1]
+    n_warps = sum(l.n_warps for l in base_report.launches)
+    rows = []
+    entries = []
+    identical = True
+    for w in engine_workers:
+        report, wall = results[w]
+        same = (
+            report.extensions == base_report.extensions
+            and [l.per_warp_inst for l in report.launches]
+            == [l.per_warp_inst for l in base_report.launches]
+            and report.merged_counters() == base_report.merged_counters()
+        )
+        identical &= same
+        speedup = base_wall / wall if wall else 0.0
+        rows.append(
+            (w, f"{wall:.2f}", f"{n_warps / wall:.1f}", f"{speedup:.2f}x",
+             "yes" if same else "NO")
+        )
+        entries.append(
+            {
+                "workers": w,
+                "wall_s": wall,
+                "warps_per_s": n_warps / wall if wall else 0.0,
+                "speedup_vs_sequential": speedup,
+                "bit_identical_to_sequential": same,
+            }
+        )
+
+    text = format_table(
+        ["workers", "wall (s)", "warps/s", "speedup", "bit-identical"],
+        rows,
+        f"Extension — warp-engine scaling ({n_warps} warps, "
+        f"{_cpu_cores()} core(s) available)",
+    )
+    record("engine_scaling", text)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(
+        json.dumps(
+            {
+                "bench": "engine_scaling",
+                "cpu_cores": _cpu_cores(),
+                "n_warps": n_warps,
+                "n_tasks": len(tasks),
+                "results": entries,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert identical, "parallel runs must be bit-identical to sequential"

@@ -27,6 +27,13 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -55,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--checkpoint", action="store_true",
                      help="persist/reuse the contig-generation checkpoint "
                           "in the output directory (MHM2 --checkpoint)")
+    asm.add_argument("--workers", type=_positive_int, default=1,
+                     help="worker processes for the simulated GPU's parallel "
+                          "warp engine (gpu mode; 1 = sequential)")
 
     st = sub.add_parser("stats", help="assembly statistics for FASTA files")
     st.add_argument("fastas", type=Path, nargs="+")
@@ -76,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
     la.add_argument("--mode", choices=["cpu", "gpu"], default="gpu")
     la.add_argument("--kernel", choices=["v1", "v2"], default="v2")
     la.add_argument("--k-init", type=int, default=21)
+    la.add_argument("--workers", type=_positive_int, default=1,
+                    help="worker processes for the parallel warp engine "
+                         "(gpu mode; 1 = sequential)")
 
     sc = sub.add_parser("scale", help="Summit-scale projections")
     sc.add_argument("--dataset", choices=["wa", "arcticsynth"], default="wa")
@@ -129,6 +142,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         min_kmer_count=args.min_kmer_count,
         local_assembly_mode=args.mode,
         local_assembly=LocalAssemblyConfig(max_reads_per_end=args.max_reads_per_end),
+        local_assembly_workers=args.workers,
         run_scaffolding=not args.no_scaffold,
     )
     args.out.mkdir(parents=True, exist_ok=True)
@@ -233,7 +247,11 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
     print(f"{len(tasks)} tasks; bins: {100*f1:.1f}% / {100*f2:.1f}% / {100*f3:.2f}%")
 
     _, report = extend_tasks(
-        tasks, config=config, mode=args.mode, kernel_version=args.kernel
+        tasks,
+        config=config,
+        mode=args.mode,
+        kernel_version=args.kernel,
+        workers=args.workers,
     )
     print(f"{report.n_extended} ends extended "
           f"(+{report.total_extension_bases} bp) in {report.wall_time_s:.2f} s wall")

@@ -63,7 +63,13 @@ class GpuLocalAssemblyReport:
         return self.kernel_time_s + self.transfer_time_s
 
     def bin_kernel_time_s(self, bin_name: str) -> float:
-        return sum(l.time_s for l in self.launches if bin_name in l.name)
+        """Kernel time attributed to one contig bin ("bin2" / "bin3").
+
+        Matches on the structured :attr:`LaunchResult.bin` field, not on
+        launch-name substrings (a launch named e.g. ``"rebin3_pass"`` must
+        not leak into ``bin3``'s total).
+        """
+        return sum(l.time_s for l in self.launches if l.bin == bin_name)
 
     def merged_counters(self) -> KernelCounters:
         merged = KernelCounters()
@@ -88,6 +94,11 @@ class GpuLocalAssembler:
         ``"v2"`` — the paper's warp-cooperative kernel (default) —
         or ``"v1"`` — the thread-per-table development baseline used for
         the §4.2 roofline comparison.
+    workers:
+        Worker processes for the parallel warp-execution engine.  The
+        default ``1`` runs warps sequentially in-process; ``N > 1`` shards
+        each launch across ``N`` processes over shared-memory device
+        buffers (results are bit-identical either way).
     """
 
     def __init__(
@@ -95,12 +106,16 @@ class GpuLocalAssembler:
         config: LocalAssemblyConfig | None = None,
         device: DeviceSpec = V100,
         kernel_version: str = "v2",
+        workers: int = 1,
     ) -> None:
         if kernel_version not in _KERNELS:
             raise ValueError(f"kernel_version must be one of {sorted(_KERNELS)}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.config = config or LocalAssemblyConfig()
         self.device = device
         self.kernel_version = kernel_version
+        self.workers = workers
 
     def run(self, tasks: TaskSet) -> GpuLocalAssemblyReport:
         """Extend every task; returns the report with all measurements."""
@@ -118,44 +133,49 @@ class GpuLocalAssembler:
             for i in tasks_by_cid[cid]:
                 extensions[(tasks[i].cid, tasks[i].side)] = ""
 
-        ctx = GpuContext(device=self.device)
+        ctx = GpuContext(device=self.device, workers=self.workers)
         report = GpuLocalAssemblyReport(extensions=extensions, bins=bins)
 
-        # Bin 3 first (§4.3): the GPU fares best with the most work.
-        for bin_name, cids in (("bin3", bins.bin3), ("bin2", bins.bin2)):
-            bin_tasks = [tasks[i] for cid in cids for i in tasks_by_cid[cid]]
-            if not bin_tasks:
-                continue
-            for batch_ids in plan_batches(
-                TaskListView(bin_tasks), self.device.global_mem_bytes
-            ):
-                batch_tasks = [bin_tasks[i] for i in batch_ids]
-                ctx.allocator.reset()
-                batch = pack_batch(ctx, batch_tasks, cfg)
-                init_len = batch.seq_len.copy()
-                # v2: one warp per task; v1 (thread-per-table): one warp
-                # carries 32 tasks, one per lane.
-                if self.kernel_version == "v1":
-                    n_warps = (len(batch_tasks) + 31) // 32
-                else:
-                    n_warps = len(batch_tasks)
-                ctx.launch(
-                    f"extension_{bin_name}_{self.kernel_version}",
-                    kernel,
-                    n_warps,
-                    batch,
-                    np.arange(len(batch_tasks)),
-                )
-                seq_host = ctx.from_device(batch.seq_buf)
-                ctx.from_device(batch.out_ext_len)
-                for j, task in enumerate(batch_tasks):
-                    so = int(batch.seq_offsets[j])
-                    ext_codes = seq_host[so + int(init_len[j]) : so + int(batch.seq_len[j])]
-                    extensions[(task.cid, task.side)] = decode(ext_codes)
-                report.n_batches += 1
+        try:
+            # Bin 3 first (§4.3): the GPU fares best with the most work.
+            for bin_name, cids in (("bin3", bins.bin3), ("bin2", bins.bin2)):
+                bin_tasks = [tasks[i] for cid in cids for i in tasks_by_cid[cid]]
+                if not bin_tasks:
+                    continue
+                for batch_ids in plan_batches(
+                    TaskListView(bin_tasks), self.device.global_mem_bytes
+                ):
+                    batch_tasks = [bin_tasks[i] for i in batch_ids]
+                    ctx.allocator.reset()
+                    batch = pack_batch(ctx, batch_tasks, cfg)
+                    init_len = batch.seq_len.copy()
+                    # v2: one warp per task; v1 (thread-per-table): one warp
+                    # carries 32 tasks, one per lane.
+                    if self.kernel_version == "v1":
+                        n_warps = (len(batch_tasks) + 31) // 32
+                    else:
+                        n_warps = len(batch_tasks)
+                    ctx.launch(
+                        f"extension_{bin_name}_{self.kernel_version}",
+                        kernel,
+                        n_warps,
+                        batch,
+                        np.arange(len(batch_tasks)),
+                        bin_name=bin_name,
+                        kernel_version=self.kernel_version,
+                    )
+                    seq_host = ctx.from_device(batch.seq_buf)
+                    ctx.from_device(batch.out_ext_len)
+                    for j, task in enumerate(batch_tasks):
+                        so = int(batch.seq_offsets[j])
+                        ext_codes = seq_host[so + int(init_len[j]) : so + int(batch.seq_len[j])]
+                        extensions[(task.cid, task.side)] = decode(ext_codes)
+                    report.n_batches += 1
 
-        report.launches = list(ctx.launches)
-        report.transfer_time_s = ctx.transfer_time_s
-        report.transfer_bytes = ctx.transfer_bytes
-        report.high_water_bytes = ctx.allocator.high_water_bytes
+            report.launches = list(ctx.launches)
+            report.transfer_time_s = ctx.transfer_time_s
+            report.transfer_bytes = ctx.transfer_bytes
+            report.high_water_bytes = ctx.allocator.high_water_bytes
+        finally:
+            ctx.close()
         return report

@@ -95,6 +95,32 @@ class DeviceBatch:
     def task_reads(self, t: int) -> range:
         return range(int(self.task_read_start[t]), int(self.task_read_start[t + 1]))
 
+    # -- pickling (parallel engine) ------------------------------------------
+    #
+    # A batch crosses the process boundary once per launch when the warp
+    # engine shards it.  Device buffers travel by shared-memory segment
+    # name (see repro.gpusim.shmem), but ``tasks`` holds every candidate
+    # read array on the host side — kernels only ever consult
+    # ``tasks[t].n_reads``, so ship lightweight headers instead of the
+    # read data.
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["tasks"] = [_TaskHeader(t.cid, t.side, t.n_reads) for t in self.tasks]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
+
+@dataclass(frozen=True)
+class _TaskHeader:
+    """What a kernel needs to know about a task (reads live on device)."""
+
+    cid: int
+    side: int
+    n_reads: int
+
 
 def pack_batch(
     ctx: GpuContext,
@@ -128,7 +154,9 @@ def pack_batch(
     per_task_seq = tail_cap + e_cap
     seq_offsets = np.arange(len(tasks) + 1, dtype=np.int64) * per_task_seq
     seq_host = np.zeros(len(tasks) * per_task_seq, dtype=np.uint8)
-    seq_len = np.zeros(len(tasks), dtype=np.int64)
+    # Kernels update the per-task length in place; allocate through the
+    # context so worker shards of a parallel launch see the writes too.
+    seq_len = ctx.host_array(len(tasks), np.int64)
     for i, t in enumerate(tasks):
         tail = t.contig[-tail_cap:]
         seq_host[seq_offsets[i] : seq_offsets[i] + tail.size] = tail

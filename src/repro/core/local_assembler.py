@@ -44,6 +44,7 @@ def extend_tasks(
     mode: str = "cpu",
     device: DeviceSpec = V100,
     kernel_version: str = "v2",
+    workers: int = 1,
 ) -> tuple[dict[tuple[int, int], str], LocalAssemblyReport]:
     """Run local assembly over a prepared task set.
 
@@ -66,7 +67,10 @@ def extend_tasks(
         return extensions, report
     if mode == "gpu":
         assembler = GpuLocalAssembler(
-            config=config, device=device, kernel_version=kernel_version
+            config=config,
+            device=device,
+            kernel_version=kernel_version,
+            workers=workers,
         )
         gpu = assembler.run(tasks)
         wall = time.perf_counter() - t0
@@ -89,6 +93,7 @@ def extend_contigs(
     mode: str = "cpu",
     device: DeviceSpec = V100,
     kernel_version: str = "v2",
+    workers: int = 1,
 ) -> tuple["ContigSet", LocalAssemblyReport]:
     """Extend a contig set using per-contig candidate reads.
 
@@ -103,7 +108,12 @@ def extend_contigs(
     depth = {c.cid: c.depth for c in contigs}
     tasks = tasks_from_candidates(contig_seqs, cand_iter)
     extensions, report = extend_tasks(
-        tasks, config=config, mode=mode, device=device, kernel_version=kernel_version
+        tasks,
+        config=config,
+        mode=mode,
+        device=device,
+        kernel_version=kernel_version,
+        workers=workers,
     )
     final = apply_extensions(contig_seqs, extensions)
     out = ContigSet(

@@ -98,6 +98,7 @@ class NodeLocalAssembler:
         n_gpus: int = 6,
         device: DeviceSpec = V100,
         kernel_version: str = "v2",
+        workers: int = 1,
     ) -> None:
         if n_gpus < 1:
             raise ValueError("need at least one GPU")
@@ -105,6 +106,7 @@ class NodeLocalAssembler:
         self.n_gpus = n_gpus
         self.device = device
         self.kernel_version = kernel_version
+        self.workers = workers
 
     def run(self, tasks: TaskSet) -> NodeLocalAssemblyReport:
         groups = partition_tasks_by_work(tasks, self.n_gpus)
@@ -115,6 +117,7 @@ class NodeLocalAssembler:
                 config=self.config,
                 device=self.device,
                 kernel_version=self.kernel_version,
+                workers=self.workers,
             )
             report = assembler.run(TaskSet([tasks[i] for i in group]))
             extensions.update(report.extensions)

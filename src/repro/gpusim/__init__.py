@@ -9,6 +9,7 @@ Instruction Roofline module reproduces the paper's §4.2 analysis.
 
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import V100, WARP_SIZE, DeviceSpec
+from repro.gpusim.engine import WarpEngine, default_workers, shard_ranges
 from repro.gpusim.kernel import GpuContext, LaunchResult
 from repro.gpusim.memory import (
     DeviceAllocator,
@@ -43,4 +44,7 @@ __all__ = [
     "TimingModel",
     "KernelTiming",
     "Warp",
+    "WarpEngine",
+    "default_workers",
+    "shard_ranges",
 ]

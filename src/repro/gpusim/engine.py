@@ -1,0 +1,148 @@
+"""Parallel warp-execution engine: shard kernel launches across processes.
+
+The simulator's launch loop (:meth:`repro.gpusim.kernel.GpuContext.launch`)
+is pure Python and therefore single-core.  The paper's kernels make warps
+*embarrassingly parallel* by construction — every warp owns a private
+hash-table / visited / sequence / output region, atomics serialise
+deterministically inside a warp, and the differential tests prove results
+are order-independent — so a launch can be sharded across a pool of worker
+processes with no change to the result.
+
+Design (one launch):
+
+1. the launch's ``n_warps`` warp ids are split into contiguous shards, one
+   per worker;
+2. each worker receives ``(kernel_fn, warp range, args)``; device buffers
+   inside ``args`` are :class:`~repro.gpusim.shmem.SharedNDArray` views
+   that attach to the parent's shared-memory segments on unpickle, so the
+   batch is never copied and all mutation lands in the parent's memory;
+3. each shard executes its warps sequentially with a *private*
+   :class:`~repro.gpusim.counters.KernelCounters` and records each warp's
+   instruction count;
+4. the parent merges shard counters (:meth:`KernelCounters.merge` —
+   integer addition, partition-independent) and concatenates the per-warp
+   instruction lists in shard order, which is warp-id order.
+
+The merged :class:`~repro.gpusim.kernel.LaunchResult` is therefore
+bit-identical to sequential execution for any worker count — the contract
+``tests/core/test_parallel_engine.py`` pins down.
+
+Kernels that make *cross-warp* writes to overlapping locations are not
+shardable (the deterministic atomic serialisation only holds per shard);
+the paper's kernels never do this, and generic users opt in explicitly via
+``GpuContext(workers=N)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.warp import Warp
+
+__all__ = ["WarpEngine", "shard_ranges", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (cores, capped at 8)."""
+    try:
+        n = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        n = os.cpu_count() or 1
+    return max(1, min(8, n))
+
+
+def shard_ranges(n_warps: int, n_shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n_warps)`` into ≤ *n_shards* contiguous, balanced
+    ``(lo, hi)`` ranges, earlier shards taking the remainder warps."""
+    n_shards = max(1, min(n_shards, n_warps))
+    base, rem = divmod(n_warps, n_shards)
+    ranges = []
+    lo = 0
+    for s in range(n_shards):
+        hi = lo + base + (1 if s < rem else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def _run_shard(payload):
+    """Execute one warp shard (worker side).
+
+    Runs warps ``lo..hi`` sequentially against a private counter set and
+    returns ``(counters, per_warp_inst)``.  Device mutation happens through
+    the shared-memory buffers attached while unpickling *payload*.
+    """
+    kernel_fn, lo, hi, sector_bytes, args = payload
+    counters = KernelCounters()
+    per_warp: list[int] = []
+    for warp_id in range(lo, hi):
+        before = counters.warp_inst
+        warp = Warp(counters, warp_id=warp_id, sector_bytes=sector_bytes)
+        kernel_fn(warp, warp_id, *args)
+        per_warp.append(counters.warp_inst - before)
+    return counters, per_warp
+
+
+def _pick_context() -> mp.context.BaseContext:
+    """Fork where available (cheap, inherits imports); spawn otherwise."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return mp.get_context("spawn")
+
+
+class WarpEngine:
+    """A persistent pool of warp-shard workers.
+
+    Created lazily on the first parallel launch and reused for every
+    launch of its owning :class:`~repro.gpusim.kernel.GpuContext` — worker
+    startup is paid once per context, not per launch.  Close with
+    :meth:`close` (the GPU context does this) or use as a context manager.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = _pick_context().Pool(processes=self.workers)
+        return self._pool
+
+    def run(
+        self, kernel_fn, n_warps: int, sector_bytes: int, args: tuple
+    ) -> list[tuple[KernelCounters, list[int]]]:
+        """Execute a launch's warps across the pool.
+
+        Returns the per-shard ``(counters, per_warp_inst)`` results in
+        shard (= warp-id) order.
+        """
+        shards = shard_ranges(n_warps, self.workers)
+        payloads = [
+            (kernel_fn, lo, hi, sector_bytes, args) for lo, hi in shards
+        ]
+        if len(payloads) == 1:
+            return [_run_shard(payloads[0])]
+        return self._ensure_pool().map(_run_shard, payloads)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WarpEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

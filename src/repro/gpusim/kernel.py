@@ -1,19 +1,25 @@
 """Kernel launching on the simulated device.
 
 A kernel is a Python callable ``fn(warp, warp_id, *args)``; a *launch* runs
-it once per warp.  Warps execute sequentially in the simulator (their
-results must be order-independent — guaranteed by the atomic-based kernel
-designs and checked by the differential tests), while counters accumulate
-as if they ran concurrently.  The timing model then prices the launch.
+it once per warp.  Warps execute either sequentially in-process or — when
+the context is created with ``workers > 1`` — sharded across the parallel
+execution engine (:mod:`repro.gpusim.engine`).  Their results must be
+order-independent (guaranteed by the atomic-based kernel designs and
+checked by the differential tests), and the two execution modes produce
+bit-identical :class:`LaunchResult`\\ s: counters accumulate as if the
+warps ran concurrently either way, and the timing model then prices the
+launch.
 
-:class:`GpuContext` owns the device, its allocator and the log of launches,
-playing the role of a CUDA stream + profiler.
+:class:`GpuContext` owns the device, its allocator, the worker engine and
+the log of launches, playing the role of a CUDA stream + profiler.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable
+
+import numpy as np
 
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import DeviceSpec, V100
@@ -37,14 +43,17 @@ class LaunchResult:
     #: warp instructions issued by each warp — the load-imbalance signal
     #: the paper's §3.1 binning exists to control.
     per_warp_inst: tuple[int, ...] = ()
+    #: structured launch identity (replaces substring-matching on *name*):
+    #: the contig bin this launch processed ("bin2"/"bin3", "" if n/a) ...
+    bin: str = ""
+    #: ... and the kernel variant that ran ("v1"/"v2", "" if n/a).
+    kernel: str = ""
 
     def warp_imbalance(self) -> float:
         """max/mean per-warp instructions (1.0 = perfectly balanced)."""
         if not self.per_warp_inst:
             return 1.0
-        import numpy as _np
-
-        arr = _np.asarray(self.per_warp_inst, dtype=float)
+        arr = np.asarray(self.per_warp_inst, dtype=float)
         mean = arr.mean()
         return float(arr.max() / mean) if mean > 0 else 1.0
 
@@ -59,7 +68,15 @@ class LaunchResult:
 
 @dataclass
 class GpuContext:
-    """A simulated GPU: device spec, allocator, launch log."""
+    """A simulated GPU: device spec, allocator, worker engine, launch log.
+
+    ``workers > 1`` turns on the parallel execution engine: the allocator
+    backs device arrays with shared memory and every launch's warps are
+    sharded across a persistent process pool.  Kernels must keep cross-warp
+    state disjoint (the paper's all do — per-task table regions); results
+    are bit-identical to ``workers=1``.  Call :meth:`close` (or use the
+    context manager form) when done to stop the pool and unlink segments.
+    """
 
     device: DeviceSpec = V100
     allocator: DeviceAllocator = None  # type: ignore[assignment]
@@ -67,10 +84,16 @@ class GpuContext:
     launches: list[LaunchResult] = field(default_factory=list)
     transfer_bytes: int = 0
     transfer_time_s: float = 0.0
+    workers: int = 1
+    _engine: "object" = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
         if self.allocator is None:
-            self.allocator = DeviceAllocator(self.device.global_mem_bytes)
+            self.allocator = DeviceAllocator(
+                self.device.global_mem_bytes, shared=self.workers > 1
+            )
         if self.timing_model is None:
             self.timing_model = TimingModel(self.device)
 
@@ -78,6 +101,10 @@ class GpuContext:
 
     def alloc(self, shape, dtype) -> DeviceArray:
         return self.allocator.alloc(shape, dtype)
+
+    def host_array(self, shape, dtype) -> np.ndarray:
+        """Host scratch that kernel shards can mutate (shared when parallel)."""
+        return self.allocator.host_array(shape, dtype)
 
     def to_device(self, host_array) -> DeviceArray:
         """Copy host data in, accounting for transfer time."""
@@ -94,16 +121,41 @@ class GpuContext:
 
     # -- launching ----------------------------------------------------------------
 
-    def launch(self, name: str, kernel_fn: KernelFn, n_warps: int, *args) -> LaunchResult:
+    def _parallel(self, n_warps: int) -> bool:
+        """Use the engine?  Needs >1 workers, >1 warps and shared buffers."""
+        return (
+            self.workers > 1
+            and n_warps > 1
+            and getattr(self.allocator, "shared", False)
+        )
+
+    def launch(
+        self,
+        name: str,
+        kernel_fn: KernelFn,
+        n_warps: int,
+        *args,
+        bin_name: str = "",
+        kernel_version: str = "",
+    ) -> LaunchResult:
         """Run *kernel_fn* for each of *n_warps* warps and price the launch."""
         counters = KernelCounters()
         counters.n_warps_launched = n_warps
         per_warp: list[int] = []
-        for warp_id in range(n_warps):
-            before = counters.warp_inst
-            warp = Warp(counters, warp_id=warp_id, sector_bytes=self.device.sector_bytes)
-            kernel_fn(warp, warp_id, *args)
-            per_warp.append(counters.warp_inst - before)
+        if self._parallel(n_warps):
+            for shard_counters, shard_per_warp in self.engine.run(
+                kernel_fn, n_warps, self.device.sector_bytes, args
+            ):
+                counters.merge(shard_counters)
+                per_warp.extend(shard_per_warp)
+        else:
+            for warp_id in range(n_warps):
+                before = counters.warp_inst
+                warp = Warp(
+                    counters, warp_id=warp_id, sector_bytes=self.device.sector_bytes
+                )
+                kernel_fn(warp, warp_id, *args)
+                per_warp.append(counters.warp_inst - before)
         timing = self.timing_model.kernel_timing(counters, n_warps)
         result = LaunchResult(
             name=name,
@@ -111,9 +163,37 @@ class GpuContext:
             counters=counters,
             timing=timing,
             per_warp_inst=tuple(per_warp),
+            bin=bin_name,
+            kernel=kernel_version,
         )
         self.launches.append(result)
         return result
+
+    # -- engine lifecycle --------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The lazily-created warp engine (parallel contexts only)."""
+        if self._engine is None:
+            from repro.gpusim.engine import WarpEngine
+
+            self._engine = WarpEngine(self.workers)
+        return self._engine
+
+    def close(self) -> None:
+        """Stop the worker pool and unlink shared segments."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+        release = getattr(self.allocator, "release_shared", None)
+        if release is not None:
+            release()
+
+    def __enter__(self) -> "GpuContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- aggregation -----------------------------------------------------------------
 

@@ -1,0 +1,145 @@
+"""Shared-memory-backed NumPy arrays for the parallel warp engine.
+
+The execution engine (:mod:`repro.gpusim.engine`) shards a kernel launch's
+warps across worker processes.  Warps mutate device memory in place, so the
+backing store of every :class:`~repro.gpusim.memory.DeviceArray` must be
+*the same pages* in every process — otherwise each shard would mutate a
+private copy and the launch result would be lost.
+
+A :class:`SharedNDArray` is an ``ndarray`` whose buffer lives in a
+``multiprocessing.shared_memory`` segment and which pickles *by segment
+name*: unpickling in a worker attaches to the existing segment instead of
+copying bytes.  Sending a packed batch to a shard therefore costs a few
+hundred bytes of metadata per array, never the array contents.
+
+Lifecycle rules (enforced by :class:`repro.gpusim.memory.DeviceAllocator`):
+
+* the creating process owns the segment and is the only one to ``unlink``;
+* workers attach on unpickle and drop the mapping with ordinary GC — the
+  attachment is explicitly *deregistered* from the resource tracker so a
+  worker's exit can never tear down a segment the parent still uses;
+* ``unlink`` only removes the name; mappings stay valid until released, so
+  a late-collected view in a worker is harmless.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["SharedNDArray", "create_shared_array", "attach_shared_array"]
+
+try:  # pragma: no cover - exercised implicitly everywhere
+    from multiprocessing import shared_memory as _shm_mod
+except ImportError:  # pragma: no cover - ancient/stripped pythons
+    _shm_mod = None
+
+
+def shared_memory_available() -> bool:
+    """True when multiprocessing.shared_memory can be used on this host."""
+    if _shm_mod is None:
+        return False
+    try:
+        seg = _shm_mod.SharedMemory(create=True, size=8)
+    except (OSError, PermissionError):  # pragma: no cover - no /dev/shm
+        return False
+    seg.close()
+    seg.unlink()
+    return True
+
+
+@contextmanager
+def _untracked():
+    """Suppress resource-tracker registration while attaching a segment.
+
+    Python's resource tracker unlinks every segment a process registered
+    when that process's tracker shuts down.  Attachments in pool workers
+    must not count as ownership — only the creating process may unlink.
+    Un-registering *after* the attach is wrong under fork (workers share
+    the parent's tracker, so the message would strip the parent's own
+    registration); suppressing the registration instead is side-effect
+    free in both fork and spawn (the canonical workaround until
+    ``track=False`` of Python 3.13 is the floor).
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+    except Exception:  # pragma: no cover - tracker API moved
+        yield
+        return
+    try:
+        yield
+    finally:
+        resource_tracker.register = orig
+
+
+class SharedNDArray(np.ndarray):
+    """An ndarray over a shared-memory segment, picklable by name.
+
+    Only the *root* array (the one returned by :func:`create_shared_array`
+    or :func:`attach_shared_array`) pickles by segment name; views derived
+    from it fall back to ordinary by-value pickling, which is the safe
+    default for the short-lived temporaries kernels create.
+    """
+
+    _shm = None  # keeps the mapping alive for all derived views
+    _shm_root = False
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is not None:
+            self._shm = getattr(obj, "_shm", None)
+            self._shm_root = False
+
+    def __reduce__(self):
+        if self._shm_root and self._shm is not None:
+            return (
+                attach_shared_array,
+                (self._shm.name, self.shape, self.dtype.str),
+            )
+        return super().__reduce__()
+
+    # -- segment management (root arrays only) ------------------------------
+
+    @property
+    def segment_name(self) -> str | None:
+        return self._shm.name if self._shm is not None else None
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner side).  Mappings stay valid."""
+        if self._shm is not None:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def _wrap(shm, shape, dtype) -> SharedNDArray:
+    arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf).view(SharedNDArray)
+    arr._shm = shm
+    arr._shm_root = True
+    return arr
+
+
+def create_shared_array(shape, dtype) -> SharedNDArray:
+    """Allocate a zero-initialised shared array (owner side)."""
+    if _shm_mod is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    dtype = np.dtype(dtype)
+    size = max(1, int(np.prod(np.atleast_1d(shape))) * dtype.itemsize)
+    shm = _shm_mod.SharedMemory(create=True, size=size)
+    arr = _wrap(shm, shape, dtype)
+    if arr.size:
+        arr.fill(0)
+    return arr
+
+
+def attach_shared_array(name: str, shape, dtype) -> SharedNDArray:
+    """Attach to an existing segment (worker side / unpickle hook)."""
+    if _shm_mod is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    with _untracked():
+        shm = _shm_mod.SharedMemory(name=name)
+    return _wrap(shm, shape, np.dtype(dtype))

@@ -39,6 +39,11 @@ from repro.gpusim.memory import DeviceArray, count_sectors
 
 __all__ = ["Warp"]
 
+#: shared read-only [0..31] — lane_ids() sits on kernel hot paths, so the
+#: array is allocated once and frozen instead of per call.
+_LANE_IDS = np.arange(WARP_SIZE)
+_LANE_IDS.setflags(write=False)
+
 
 def _as_lane_array(value, dtype=np.int64) -> np.ndarray:
     """Broadcast a scalar to a 32-lane array, or validate an array."""
@@ -75,8 +80,11 @@ class Warp:
         return bool(self.mask.any())
 
     def lane_ids(self) -> np.ndarray:
-        """``[0..31]`` — the CUDA ``threadIdx.x % 32`` of each lane."""
-        return np.arange(WARP_SIZE)
+        """``[0..31]`` — the CUDA ``threadIdx.x % 32`` of each lane.
+
+        Returns a shared read-only array; copy before mutating.
+        """
+        return _LANE_IDS
 
     @contextmanager
     def where(self, cond) -> Iterator[None]:
@@ -227,12 +235,27 @@ class Warp:
         act = starts[self.mask[: starts.size]] if starts.size == WARP_SIZE else starts
         if act.size:
             addrs = darr.base_addr + act
-            for w in range(n_words):
-                word_addrs = addrs + word_bytes * w
-                word_len = min(word_bytes, nbytes - word_bytes * w)
-                self.counters.global_ld_transactions += count_sectors(
-                    word_addrs, word_len, self.sector_bytes
-                )
+            if word_bytes <= self.sector_bytes:
+                # All words at once: a word spans at most two sectors, so
+                # per-word unique sectors = unique of {first, last} per
+                # column — one sort instead of a Python loop per word.
+                w = np.arange(n_words, dtype=np.int64)
+                word_addrs = addrs[:, None] + word_bytes * w[None, :]
+                word_len = np.minimum(word_bytes, nbytes - word_bytes * w)
+                first = word_addrs // self.sector_bytes
+                last = (word_addrs + word_len[None, :] - 1) // self.sector_bytes
+                sectors = np.concatenate([first, last], axis=0)
+                sectors.sort(axis=0)
+                self.counters.global_ld_transactions += int(
+                    (np.diff(sectors, axis=0) != 0).sum()
+                ) + n_words
+            else:  # pragma: no cover - no kernel uses words wider than a sector
+                for w in range(n_words):
+                    word_addrs = addrs + word_bytes * w
+                    word_len = min(word_bytes, nbytes - word_bytes * w)
+                    self.counters.global_ld_transactions += count_sectors(
+                        word_addrs, word_len, self.sector_bytes
+                    )
 
     def global_store(self, darr: DeviceArray, idx, values) -> None:
         """Scatter *values* to ``darr[idx]`` for active lanes; one STG."""
@@ -283,6 +306,28 @@ class Warp:
         self.counters.global_st_transactions += transactions
 
     # -- atomics -------------------------------------------------------------------
+    #
+    # Lanes are applied in ascending lane order — a legal deterministic
+    # serialisation of the hardware's arbitrary arbitration.  The vectorised
+    # forms below reproduce that serialisation exactly: lanes hitting
+    # *distinct* addresses commute and run as one NumPy op; lanes sharing an
+    # address are grouped (stable sort keeps lane order inside a group) and
+    # resolved with the arithmetic identity of the serial chain (add: prefix
+    # sums) or a tiny per-group loop (cas/max, where the chain is
+    # data-dependent — thread collisions are rare by design, §3.3).
+
+    def _conflict_groups(self, idx: np.ndarray):
+        """Active lanes split into uniquely- and multiply-addressed sets.
+
+        Returns ``(act, dup, n_unique)``: active lane ids, a boolean mask
+        over *act* marking lanes whose address is shared, and the number of
+        distinct addresses.
+        """
+        act = np.nonzero(self.mask)[0]
+        uniq, inv, counts = np.unique(
+            idx[act], return_inverse=True, return_counts=True
+        )
+        return act, counts[inv] > 1, uniq.size
 
     def atomic_cas(self, darr: DeviceArray, idx, compare, value) -> np.ndarray:
         """``atomicCAS`` per active lane, applied in ascending lane order.
@@ -299,8 +344,14 @@ class Warp:
         old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
         if self.any_active:
             flat = darr.data.reshape(-1)
-            act_lanes = np.nonzero(self.mask)[0]
-            for lane in act_lanes:
+            act, dup, n_unique = self._conflict_groups(idx)
+            solo = act[~dup]
+            if solo.size:
+                cur = flat[idx[solo]]
+                old[solo] = cur
+                hit = cur == compare[solo]
+                flat[idx[solo][hit]] = value[solo][hit]
+            for lane in act[dup]:  # contended addresses: serial chain
                 cur = flat[idx[lane]]
                 old[lane] = cur
                 if cur == compare[lane]:
@@ -309,8 +360,7 @@ class Warp:
                 darr.addresses(idx[self.mask]), darr.itemsize, self.sector_bytes
             )
             # Address conflicts replay the atomic on hardware.
-            n_unique = np.unique(idx[self.mask]).size
-            conflicts = len(act_lanes) - n_unique
+            conflicts = act.size - n_unique
             if conflicts:
                 self.counters.labels["atomic_conflicts"] = (
                     self.counters.labels.get("atomic_conflicts", 0) + conflicts
@@ -326,9 +376,27 @@ class Warp:
         old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
         if self.any_active:
             flat = darr.data.reshape(-1)
-            for lane in np.nonzero(self.mask)[0]:
-                old[lane] = flat[idx[lane]]
-                flat[idx[lane]] += value[lane]
+            act = np.nonzero(self.mask)[0]
+            ai, av = idx[act], value[act]
+            if np.issubdtype(av.dtype, np.floating):
+                # Float accumulation order affects rounding — keep the
+                # literal serial chain so results stay bit-identical.
+                for lane in act:
+                    old[lane] = flat[idx[lane]]
+                    flat[idx[lane]] += value[lane]
+            else:
+                # Integer adds are associative (modular), so the value a
+                # lane observes is base + the exclusive prefix sum of the
+                # earlier same-address lanes' contributions.
+                order = np.argsort(ai, kind="stable")
+                si, sv = ai[order], av[order]
+                group_start = np.ones(si.size, dtype=bool)
+                group_start[1:] = si[1:] != si[:-1]
+                excl = np.cumsum(sv, dtype=sv.dtype) - sv
+                base_excl = excl[np.nonzero(group_start)[0]]
+                excl -= base_excl[np.cumsum(group_start) - 1]
+                old[act[order]] = flat[si] + excl
+                np.add.at(flat, ai, av)
             self.counters.atomic_transactions += count_sectors(
                 darr.addresses(idx[self.mask]), darr.itemsize, self.sector_bytes
             )
@@ -343,9 +411,17 @@ class Warp:
         old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
         if self.any_active:
             flat = darr.data.reshape(-1)
-            for lane in np.nonzero(self.mask)[0]:
-                old[lane] = flat[idx[lane]]
-                flat[idx[lane]] = max(flat[idx[lane]], value[lane])
+            act, dup, _ = self._conflict_groups(idx)
+            solo = act[~dup]
+            if solo.size:
+                cur = flat[idx[solo]]
+                old[solo] = cur
+                flat[idx[solo]] = np.maximum(cur, value[solo])
+            for lane in act[dup]:  # contended: observe the running max
+                cur = flat[idx[lane]]
+                old[lane] = cur
+                if value[lane] > cur:
+                    flat[idx[lane]] = value[lane]
             self.counters.atomic_transactions += count_sectors(
                 darr.addresses(idx[self.mask]), darr.itemsize, self.sector_bytes
             )
@@ -385,9 +461,11 @@ class Warp:
         self.counters.shuffle_inst += 1
         out = np.zeros(WARP_SIZE, dtype=np.uint64)
         act = np.nonzero(self.mask)[0]
-        for lane in act:
-            same = act[values[act] == values[lane]]
-            out[lane] = np.sum(np.uint64(1) << same.astype(np.uint64))
+        if act.size:
+            vals = values[act]
+            eq = vals[:, None] == vals[None, :]
+            bits = np.uint64(1) << act.astype(np.uint64)
+            out[act] = (eq * bits[None, :]).sum(axis=1, dtype=np.uint64)
         return out
 
     def sync(self) -> None:

@@ -53,6 +53,8 @@ class PipelineConfig:
     local_assembly: LocalAssemblyConfig = field(default_factory=LocalAssemblyConfig)
     local_assembly_mode: str = "cpu"  # "cpu" | "gpu"
     gpu_kernel_version: str = "v2"
+    #: worker processes for the GPU simulator's parallel warp engine
+    local_assembly_workers: int = 1
     # scaffolding
     insert_mean: float = 350.0
     #: estimate the insert size from same-contig pairs (MHM2 behaviour);
@@ -186,6 +188,7 @@ def run_pipeline(
             config=config.local_assembly,
             mode=config.local_assembly_mode,
             kernel_version=config.gpu_kernel_version,
+            workers=config.local_assembly_workers,
         )
 
     scaffolds: ScaffoldingResult | None = None

@@ -1,0 +1,106 @@
+"""Driver-level contract of the parallel warp engine.
+
+``GpuLocalAssembler(workers=N)`` must be *indistinguishable* from the
+sequential driver in everything but wall-clock: extensions, merged
+counters, per-launch ``per_warp_inst`` tuples and modelled timing are all
+bit-identical, and both match the CPU reference.  This pins the tentpole
+guarantee that parallel execution is a pure implementation detail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import LocalAssemblyConfig
+from repro.core.cpu_local_assembly import run_local_assembly_cpu
+from repro.core.driver import GpuLocalAssembler
+from repro.core.tasks import LEFT, RIGHT, ExtensionTask, TaskSet
+from repro.gpusim.shmem import shared_memory_available
+from repro.sequence.dna import encode, random_dna
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this host"
+)
+
+
+def _tiling_task(genome, contig_end, read_len=70, stride=6, cid=0, side=RIGHT):
+    reads, quals = [], []
+    for i in range(0, len(genome) - read_len + 1, stride):
+        reads.append(encode(genome[i : i + read_len]))
+        quals.append(np.full(read_len, 40, dtype=np.uint8))
+    return ExtensionTask(
+        cid=cid, side=side, contig=encode(genome[:contig_end]),
+        reads=tuple(reads), quals=tuple(quals),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Enough multi-warp structure to exercise real sharding: 10 tasks
+    spanning bins 1-3, both sides, plus an empty-read task."""
+    rng = np.random.default_rng(2024)
+    tasks = []
+    for cid in range(4):
+        tasks.append(_tiling_task(random_dna(320, rng), 120, cid=cid, stride=5))
+    for cid in range(4, 7):
+        side = LEFT if cid % 2 else RIGHT
+        tasks.append(
+            _tiling_task(random_dna(220, rng), 90, cid=cid, stride=30, side=side)
+        )
+    tasks.append(
+        ExtensionTask(cid=7, side=RIGHT, contig=encode(random_dna(80, rng)),
+                      reads=(), quals=())
+    )
+    for cid in (8, 9):
+        tasks.append(_tiling_task(random_dna(280, rng), 100, cid=cid, stride=7))
+    return TaskSet(tasks)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return LocalAssemblyConfig(k_init=21, max_walk_len=150)
+
+
+def _assert_identical_reports(a, b):
+    assert a.extensions == b.extensions
+    assert a.n_batches == b.n_batches
+    assert len(a.launches) == len(b.launches)
+    for la, lb in zip(a.launches, b.launches):
+        assert la.name == lb.name
+        assert (la.bin, la.kernel) == (lb.bin, lb.kernel)
+        assert la.n_warps == lb.n_warps
+        assert la.per_warp_inst == lb.per_warp_inst
+        assert la.counters == lb.counters
+        assert la.timing == lb.timing
+    assert a.merged_counters() == b.merged_counters()
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("version", ["v2", "v1"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bit_identical_to_sequential(self, workload, config, version, workers):
+        seq = GpuLocalAssembler(config, kernel_version=version, workers=1).run(workload)
+        par = GpuLocalAssembler(config, kernel_version=version, workers=workers).run(
+            workload
+        )
+        _assert_identical_reports(seq, par)
+
+    def test_parallel_matches_cpu_reference(self, workload, config):
+        cpu, _ = run_local_assembly_cpu(workload, config)
+        par = GpuLocalAssembler(config, workers=2).run(workload)
+        assert par.extensions == cpu
+
+    def test_bin_attribution_uses_structured_fields(self, workload, config):
+        report = GpuLocalAssembler(config, workers=2).run(workload)
+        bins_seen = {l.bin for l in report.launches}
+        assert bins_seen <= {"bin2", "bin3"}
+        assert all(l.kernel == "v2" for l in report.launches)
+        total = report.bin_kernel_time_s("bin2") + report.bin_kernel_time_s("bin3")
+        assert total == pytest.approx(report.kernel_time_s)
+        # an unknown bin attributes nothing, even as a substring of a name
+        assert report.bin_kernel_time_s("bin") == 0.0
+
+    def test_workers_validation(self, config):
+        with pytest.raises(ValueError):
+            GpuLocalAssembler(config, workers=0)

@@ -1,0 +1,178 @@
+"""Unit tests for the parallel warp-execution engine and its shared memory.
+
+The contract under test: for *any* worker count, a launch sharded across
+the engine produces a :class:`LaunchResult` bit-identical to sequential
+execution — same merged counters, same per-warp instruction ordering —
+and all device mutation lands in the parent's buffers.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.gpusim.engine import WarpEngine, default_workers, shard_ranges
+from repro.gpusim.kernel import GpuContext
+from repro.gpusim.memory import DeviceAllocator
+from repro.gpusim.shmem import (
+    attach_shared_array,
+    create_shared_array,
+    shared_memory_available,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this host"
+)
+
+
+class TestShardRanges:
+    def test_even_split(self):
+        assert shard_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_to_early_shards(self):
+        assert shard_ranges(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_shards_than_warps(self):
+        assert shard_ranges(2, 8) == [(0, 1), (1, 2)]
+
+    def test_single_shard(self):
+        assert shard_ranges(5, 1) == [(0, 5)]
+
+    def test_covers_every_warp_exactly_once(self):
+        for n_warps in (1, 7, 32, 100):
+            for n_shards in (1, 2, 3, 8):
+                ranges = shard_ranges(n_warps, n_shards)
+                ids = [w for lo, hi in ranges for w in range(lo, hi)]
+                assert ids == list(range(n_warps))
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+@needs_shm
+class TestSharedNDArray:
+    def test_create_zeroed_and_named(self):
+        arr = create_shared_array(16, np.int64)
+        try:
+            assert arr.shape == (16,)
+            assert not arr.any()
+            assert arr.segment_name
+        finally:
+            arr.unlink()
+
+    def test_pickle_roundtrip_attaches_same_segment(self):
+        arr = create_shared_array(8, np.float64)
+        try:
+            arr[:] = np.arange(8)
+            clone = pickle.loads(pickle.dumps(arr))
+            assert clone.segment_name == arr.segment_name
+            np.testing.assert_array_equal(clone, arr)
+            clone[3] = 99.0  # mutation is visible through the original
+            assert arr[3] == 99.0
+        finally:
+            arr.unlink()
+
+    def test_views_pickle_by_value(self):
+        arr = create_shared_array(8, np.int32)
+        try:
+            view = arr[2:5]
+            view[:] = 7
+            clone = pickle.loads(pickle.dumps(view))
+            np.testing.assert_array_equal(clone, view)
+            clone[0] = -1  # by-value copy: original untouched
+            assert arr[2] == 7
+        finally:
+            arr.unlink()
+
+    def test_attach_by_name(self):
+        arr = create_shared_array(4, np.uint8)
+        try:
+            arr[:] = [1, 2, 3, 4]
+            other = attach_shared_array(arr.segment_name, 4, np.uint8)
+            np.testing.assert_array_equal(other, arr)
+        finally:
+            arr.unlink()
+
+    def test_double_unlink_is_harmless(self):
+        arr = create_shared_array(4, np.uint8)
+        arr.unlink()
+        arr.unlink()
+
+
+@needs_shm
+class TestSharedAllocator:
+    def test_alloc_is_shared_and_accounted(self):
+        alloc = DeviceAllocator(1 << 20, shared=True)
+        darr = alloc.alloc(100, np.int64)
+        assert getattr(darr.data, "_shm_root", False)
+        assert alloc.bytes_in_use > 0
+        alloc.release_shared()
+
+    def test_host_array_shared_but_not_accounted(self):
+        alloc = DeviceAllocator(1 << 20, shared=True)
+        arr = alloc.host_array(10, np.int64)
+        assert getattr(arr, "_shm_root", False)
+        assert alloc.bytes_in_use == 0
+        alloc.release_shared()
+
+    def test_sequential_host_array_is_plain(self):
+        alloc = DeviceAllocator(1 << 20, shared=False)
+        arr = alloc.host_array(10, np.int64)
+        assert not hasattr(arr, "_shm_root")
+
+
+def _count_kernel(warp, warp_id, out):
+    """Each warp writes its id and issues warp_id+1 extra instructions."""
+    for _ in range(warp_id + 1):
+        warp.int_op()
+    with warp.single_lane(0):
+        warp.global_store(out, warp_id, warp_id * 10)
+
+
+@needs_shm
+class TestWarpEngineLaunch:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_launch_matches_sequential(self, workers):
+        n_warps = 10
+        with GpuContext(workers=1) as seq_ctx:
+            out = seq_ctx.alloc(n_warps, np.int64)
+            expect = seq_ctx.launch("count", _count_kernel, n_warps, out)
+            expect_data = out.data.copy()
+        with GpuContext(workers=workers) as ctx:
+            out = ctx.alloc(n_warps, np.int64)
+            got = ctx.launch("count", _count_kernel, n_warps, out)
+            np.testing.assert_array_equal(out.data, expect_data)
+        assert got.counters == expect.counters
+        assert got.per_warp_inst == expect.per_warp_inst
+        assert got.n_warps == expect.n_warps
+        assert got.timing == expect.timing
+
+    def test_per_warp_order_is_warp_id_order(self):
+        # warp_id+1 int ops plus the store make ordering observable
+        with GpuContext(workers=2) as ctx:
+            out = ctx.alloc(6, np.int64)
+            res = ctx.launch("count", _count_kernel, 6, out)
+        assert list(res.per_warp_inst) == sorted(res.per_warp_inst)
+
+    def test_engine_reused_across_launches(self):
+        with GpuContext(workers=2) as ctx:
+            out = ctx.alloc(4, np.int64)
+            ctx.launch("a", _count_kernel, 4, out)
+            engine = ctx._engine
+            ctx.launch("b", _count_kernel, 4, out)
+            assert ctx._engine is engine
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GpuContext(workers=0)
+        with pytest.raises(ValueError):
+            WarpEngine(0)
+
+    def test_single_warp_runs_inline(self):
+        # one warp -> no sharding benefit; must not spin up the pool
+        with GpuContext(workers=4) as ctx:
+            out = ctx.alloc(1, np.int64)
+            ctx.launch("one", _count_kernel, 1, out)
+            assert out.data[0] == 0

@@ -155,6 +155,97 @@ class TestAtomics:
         assert d.data[0] == 31
 
 
+class TestVectorisedAtomicEdgeCases:
+    """The vectorised atomics must keep the exact ascending-lane-order
+    serial semantics, including across mixed unique/duplicate addresses."""
+
+    def _serial_reference(self, data, idx, compare, value, op):
+        flat = data.copy()
+        old = np.zeros(32, dtype=data.dtype)
+        for lane in range(32):
+            cur = flat[idx[lane]]
+            old[lane] = cur
+            if op == "add":
+                flat[idx[lane]] += value[lane]
+            elif op == "max":
+                flat[idx[lane]] = max(cur, value[lane])
+            elif op == "cas" and cur == compare[lane]:
+                flat[idx[lane]] = value[lane]
+        return flat, old
+
+    def test_add_old_values_interleaved_addresses(self, warp, alloc):
+        rng = np.random.default_rng(99)
+        init = rng.integers(0, 50, 8).astype(np.int64)
+        idx = rng.integers(0, 8, 32).astype(np.int64)
+        value = rng.integers(-5, 10, 32).astype(np.int64)
+        d = alloc.to_device(init)
+        ref_flat, ref_old = self._serial_reference(init, idx, None, value, "add")
+        old = warp.atomic_add(d, idx, value)
+        assert old.tolist() == ref_old.tolist()
+        assert d.data.tolist() == ref_flat.tolist()
+
+    def test_add_float_keeps_serial_rounding(self, warp, alloc):
+        # 1e16 + 1.0 rounds away in float64: the serial chain's result is
+        # order-sensitive and the vectorised path must reproduce it.
+        init = np.zeros(2, dtype=np.float64)
+        idx = np.zeros(32, dtype=np.int64)
+        value = np.full(32, 1.0)
+        value[0] = 1e16
+        d = alloc.to_device(init)
+        ref_flat, ref_old = self._serial_reference(init, idx, None, value, "add")
+        old = warp.atomic_add(d, idx, value)
+        assert old.tolist() == ref_old.tolist()
+        assert d.data.tolist() == ref_flat.tolist()
+
+    def test_cas_duplicate_addresses_mixed_compares(self, warp, alloc):
+        # Lanes 0-15 CAS slot 0 expecting -1 (lane 0 wins); lanes 16-31
+        # CAS slot 1 expecting lane 16's *written* value (so lane 17 sees
+        # the chained effect and wins the second round).
+        init = np.array([-1, -1, 7], dtype=np.int64)
+        idx = np.array([0] * 16 + [1] * 16, dtype=np.int64)
+        compare = np.array([-1] * 16 + [-1] + [100 + 16] * 15, dtype=np.int64)
+        value = 100 + np.arange(32, dtype=np.int64)
+        d = alloc.to_device(init)
+        ref_flat, ref_old = self._serial_reference(init, idx, compare, value, "cas")
+        old = warp.atomic_cas(d, idx, compare, value)
+        assert old.tolist() == ref_old.tolist()
+        assert d.data.tolist() == ref_flat.tolist()
+        assert d.data[1] == 117  # lane 17 chained off lane 16's write
+        assert warp.counters.labels["atomic_conflicts"] == 30
+
+    def test_cas_all_unique_addresses_no_conflicts(self, warp, alloc):
+        d = alloc.to_device(np.full(32, -1, dtype=np.int64))
+        old = warp.atomic_cas(d, np.arange(32), -1, np.arange(32) * 2)
+        assert (old == -1).all()
+        assert d.data.tolist() == (np.arange(32) * 2).tolist()
+        assert "atomic_conflicts" not in warp.counters.labels
+
+    def test_max_duplicate_addresses_running_max(self, warp, alloc):
+        rng = np.random.default_rng(5)
+        init = rng.integers(0, 30, 4).astype(np.int64)
+        idx = rng.integers(0, 4, 32).astype(np.int64)
+        value = rng.integers(0, 60, 32).astype(np.int64)
+        d = alloc.to_device(init)
+        ref_flat, ref_old = self._serial_reference(init, idx, None, value, "max")
+        old = warp.atomic_max(d, idx, value)
+        assert old.tolist() == ref_old.tolist()
+        assert d.data.tolist() == ref_flat.tolist()
+
+    def test_atomics_respect_active_mask(self, warp, alloc):
+        d = alloc.to_device(np.zeros(4, dtype=np.int64))
+        with warp.where(np.arange(32) < 3):
+            old = warp.atomic_add(d, np.zeros(32, dtype=np.int64), 1)
+        assert d.data[0] == 3
+        assert old.tolist() == [0, 1, 2] + [0] * 29
+
+    def test_lane_ids_cached_and_read_only(self, warp):
+        a = warp.lane_ids()
+        b = warp.lane_ids()
+        assert a is b  # cached module-level array, no per-call allocation
+        assert not a.flags.writeable
+        assert a.tolist() == list(range(32))
+
+
 class TestIntrinsics:
     def test_shfl_broadcast(self, warp):
         vals = np.arange(32)
