@@ -35,6 +35,8 @@ def _positive_int(text: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.gpusim import ENGINE_MODES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SC'21 GPU metagenome local-assembly reproduction",
@@ -65,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--workers", type=_positive_int, default=1,
                      help="worker processes for the simulated GPU's parallel "
                           "warp engine (gpu mode; 1 = sequential)")
+    asm.add_argument("--engine", choices=ENGINE_MODES, default="auto",
+                     help="warp execution engine (gpu mode; 'batched' runs "
+                          "every warp of a launch in lockstep)")
 
     st = sub.add_parser("stats", help="assembly statistics for FASTA files")
     st.add_argument("fastas", type=Path, nargs="+")
@@ -89,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     la.add_argument("--workers", type=_positive_int, default=1,
                     help="worker processes for the parallel warp engine "
                          "(gpu mode; 1 = sequential)")
+    la.add_argument("--engine", choices=ENGINE_MODES, default="auto",
+                    help="warp execution engine (gpu mode; 'batched' runs "
+                         "every warp of a launch in lockstep)")
 
     sc = sub.add_parser("scale", help="Summit-scale projections")
     sc.add_argument("--dataset", choices=["wa", "arcticsynth"], default="wa")
@@ -143,6 +151,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         local_assembly_mode=args.mode,
         local_assembly=LocalAssemblyConfig(max_reads_per_end=args.max_reads_per_end),
         local_assembly_workers=args.workers,
+        local_assembly_engine=args.engine,
         run_scaffolding=not args.no_scaffold,
     )
     args.out.mkdir(parents=True, exist_ok=True)
@@ -252,6 +261,7 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
         mode=args.mode,
         kernel_version=args.kernel,
         workers=args.workers,
+        engine=args.engine,
     )
     print(f"{report.n_extended} ends extended "
           f"(+{report.total_extension_bases} bp) in {report.wall_time_s:.2f} s wall")

@@ -25,12 +25,13 @@ from repro.core.extension_kernel import (
     extension_task_kernel_v1,
     extension_task_kernel_v2,
 )
+import repro.core.extension_kernel_batched  # noqa: F401  (registers the batched v2 impl)
 from repro.core.gpu_batch import TaskListView, pack_batch
 from repro.core.ht_sizing import plan_batches
 from repro.core.tasks import TaskSet
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import V100, DeviceSpec
-from repro.gpusim.kernel import GpuContext, LaunchResult
+from repro.gpusim.kernel import ENGINE_MODES, GpuContext, LaunchResult
 from repro.sequence.dna import decode
 
 __all__ = ["GpuLocalAssemblyReport", "GpuLocalAssembler"]
@@ -99,6 +100,12 @@ class GpuLocalAssembler:
         default ``1`` runs warps sequentially in-process; ``N > 1`` shards
         each launch across ``N`` processes over shared-memory device
         buffers (results are bit-identical either way).
+    engine:
+        Warp execution mode: ``"auto"`` (pool when ``workers > 1``, else
+        sequential), ``"sequential"``, ``"pool"``, or ``"batched"`` — the
+        SoA engine that advances all warps of a launch in lockstep (v2
+        kernels only; v1 falls back to sequential interpretation).  All
+        modes are bit-identical.
     """
 
     def __init__(
@@ -107,15 +114,19 @@ class GpuLocalAssembler:
         device: DeviceSpec = V100,
         kernel_version: str = "v2",
         workers: int = 1,
+        engine: str = "auto",
     ) -> None:
         if kernel_version not in _KERNELS:
             raise ValueError(f"kernel_version must be one of {sorted(_KERNELS)}")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if engine not in ENGINE_MODES:
+            raise ValueError(f"engine must be one of {ENGINE_MODES}")
         self.config = config or LocalAssemblyConfig()
         self.device = device
         self.kernel_version = kernel_version
         self.workers = workers
+        self.engine = engine
 
     def run(self, tasks: TaskSet) -> GpuLocalAssemblyReport:
         """Extend every task; returns the report with all measurements."""
@@ -133,7 +144,7 @@ class GpuLocalAssembler:
             for i in tasks_by_cid[cid]:
                 extensions[(tasks[i].cid, tasks[i].side)] = ""
 
-        ctx = GpuContext(device=self.device, workers=self.workers)
+        ctx = GpuContext(device=self.device, workers=self.workers, engine=self.engine)
         report = GpuLocalAssemblyReport(extensions=extensions, bins=bins)
 
         try:

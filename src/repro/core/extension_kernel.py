@@ -47,9 +47,57 @@ __all__ = [
     "extension_task_kernel_v2",
     "build_table_v2",
     "mer_walk_gpu",
+    "read_window_plan",
 ]
 
 _LANES = 32
+
+
+def read_window_plan(
+    batch: DeviceBatch, ri: int, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Packed k-mer windows + row hashes for read *ri* at mer size *k*.
+
+    Returns ``(win, hashes, ext, hi, valid)``, one row/entry per k-mer
+    start position that has a following extension base: the ``(n, k)``
+    window view into the packed reads buffer, murmur row hashes (0 where
+    invalid), the extension base codes, the hi-quality flags and the
+    validity mask (no ambiguous base in window or extension).
+
+    The result is cached on ``batch.win_cache`` keyed by ``(ri, k)`` — the
+    reads buffer is immutable for a batch's lifetime, so the v1/v2 build
+    paths, the batched engine and k-shift retry rounds that revisit a mer
+    size all share one ``sliding_window_view`` + hash computation.
+    """
+    key = (ri, k)
+    cached = batch.win_cache.get(key)
+    if cached is not None:
+        return cached
+    cfg = batch.config
+    rb = int(batch.read_offsets[ri])
+    re_ = int(batch.read_offsets[ri + 1])
+    n_kmers = (re_ - rb) - k
+    if n_kmers <= 0:
+        z = np.zeros(0, dtype=np.int64)
+        plan = (
+            np.zeros((0, k), dtype=np.uint8), z, z.copy(),
+            np.zeros(0, dtype=bool), np.zeros(0, dtype=bool),
+        )
+        batch.win_cache[key] = plan
+        return plan
+    data = batch.reads_buf.data[rb:re_]
+    win = sliding_window_view(data, k)[:n_kmers]
+    ext = data[k:].astype(np.int64)
+    hi = batch.quals_buf.data[rb + k : re_] >= cfg.hi_q_thresh
+    valid = (ext < 4) & ~(win >= 4).any(axis=1)
+    hashes = np.zeros(n_kmers, dtype=np.int64)
+    if valid.any():
+        hashes[valid] = murmurhash2_rows(np.ascontiguousarray(win[valid])).astype(
+            np.int64
+        )
+    plan = (win, hashes, ext, hi, valid)
+    batch.win_cache[key] = plan
+    return plan
 
 
 def _hash_cost_ops(k: int) -> int:
@@ -135,34 +183,32 @@ def _probe_insert_v2(
 
 def build_table_v2(warp: Warp, batch: DeviceBatch, t: int, k: int) -> None:
     """Warp-cooperative table construction (one warp, all 32 lanes)."""
-    cfg = batch.config
     ht_start, ht_end = batch.ht_region(t)
     slots = ht_end - ht_start
     lanes = np.arange(_LANES)
     for ri in batch.task_reads(t):
-        rb = int(batch.read_offsets[ri])
-        rl = int(batch.read_offsets[ri + 1]) - rb
-        n_kmers = rl - k
+        win_r, hash_r, ext_r, hi_r, valid_r = read_window_plan(batch, ri, k)
+        n_kmers = hash_r.size
         if n_kmers <= 0:
             continue
+        rb = int(batch.read_offsets[ri])
         for chunk in range(0, n_kmers, _LANES):
             n_act = min(_LANES, n_kmers - chunk)
+            sl = slice(chunk, chunk + n_act)
             # Coalesced window + ext-base load (Fig 7 left-to-right lanes),
             # plus the ext-base qualities.
-            span = warp.global_load_span(batch.reads_buf, rb + chunk, n_act + k)
-            qspan = warp.global_load_span(batch.quals_buf, rb + chunk + k, n_act)
-            win = sliding_window_view(span, k)[:n_act]
+            warp.global_load_span(batch.reads_buf, rb + chunk, n_act + k)
+            warp.global_load_span(batch.quals_buf, rb + chunk + k, n_act)
             windows = np.zeros((_LANES, k), dtype=np.uint8)
-            windows[:n_act] = win
+            windows[:n_act] = win_r[sl]
             ext = np.zeros(_LANES, dtype=np.int64)
-            ext[:n_act] = span[k : k + n_act]
+            ext[:n_act] = ext_r[sl]
             hi = np.zeros(_LANES, dtype=bool)
-            hi[:n_act] = qspan >= cfg.hi_q_thresh
+            hi[:n_act] = hi_r[sl]
             valid = np.zeros(_LANES, dtype=bool)
-            valid[:n_act] = (ext[:n_act] < 4) & ~(win >= 4).any(axis=1)
+            valid[:n_act] = valid_r[sl]
             hashes = np.zeros(_LANES, dtype=np.int64)
-            if valid.any():
-                hashes[valid] = murmurhash2_rows(windows[valid]).astype(np.int64)
+            hashes[:n_act] = hash_r[sl]
             with warp.where(lanes < n_act):
                 warp.int_op(_hash_cost_ops(k))
             my_ptr = (rb + chunk + lanes).astype(np.int64)
@@ -189,33 +235,33 @@ def _lane_insert_jobs(batch: DeviceBatch, t: int, k: int):
     """Vectorised insert-job stream for one lane's task at mer size k.
 
     Returns ``(ptrs, hashes, ext, hi, valid)`` flat arrays — one entry per
-    k-mer occurrence across the task's reads.
+    k-mer occurrence across the task's reads.  Shares the cached per-read
+    :func:`read_window_plan` with the v2 and batched build paths (a k-mer
+    with an ambiguous window *or* extension base is invalid either way:
+    the v1 ``(k+1)``-window test factors into the plan's window + ext
+    tests).
     """
-    cfg = batch.config
-    ptrs_list, win_list = [], []
+    ptrs_list, h_list, e_list, q_list, v_list = [], [], [], [], []
     for ri in batch.task_reads(t):
-        rb = int(batch.read_offsets[ri])
-        rl = int(batch.read_offsets[ri + 1]) - rb
-        if rl - k <= 0:
+        _, hashes, ext, hi, valid = read_window_plan(batch, ri, k)
+        if hashes.size == 0:
             continue
-        ptrs_list.append(rb + np.arange(rl - k, dtype=np.int64))
-        win_list.append(
-            sliding_window_view(batch.reads_buf.data[rb : rb + rl], k + 1)
-        )
+        rb = int(batch.read_offsets[ri])
+        ptrs_list.append(rb + np.arange(hashes.size, dtype=np.int64))
+        h_list.append(hashes)
+        e_list.append(ext)
+        q_list.append(hi)
+        v_list.append(valid)
     if not ptrs_list:
         z = np.zeros(0, dtype=np.int64)
         return z, z, z, np.zeros(0, dtype=bool), np.zeros(0, dtype=bool)
-    ptrs = np.concatenate(ptrs_list)
-    win = np.concatenate(win_list)  # (n, k+1)
-    ext = win[:, k].astype(np.int64)
-    hi = batch.quals_buf.data[ptrs + k] >= cfg.hi_q_thresh
-    valid = ~(win >= 4).any(axis=1)
-    hashes = np.zeros(ptrs.size, dtype=np.int64)
-    if valid.any():
-        hashes[valid] = murmurhash2_rows(np.ascontiguousarray(win[valid, :k])).astype(
-            np.int64
-        )
-    return ptrs, hashes, ext, hi, valid
+    return (
+        np.concatenate(ptrs_list),
+        np.concatenate(h_list),
+        np.concatenate(e_list),
+        np.concatenate(q_list),
+        np.concatenate(v_list),
+    )
 
 
 def _probe_insert_multi(

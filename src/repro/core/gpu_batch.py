@@ -16,7 +16,7 @@ The driver packs a batch of extension tasks into flat device buffers
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -82,6 +82,11 @@ class DeviceBatch:
     # outputs
     out_ext_len: DeviceArray
 
+    #: per-(read index, k) window-plan cache (see
+    #: :func:`repro.core.extension_kernel.read_window_plan`) — valid for
+    #: the batch's lifetime because the packed reads are immutable.
+    win_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
     @property
     def n_tasks(self) -> int:
         return len(self.tasks)
@@ -107,6 +112,9 @@ class DeviceBatch:
     def __getstate__(self):
         state = self.__dict__.copy()
         state["tasks"] = [_TaskHeader(t.cid, t.side, t.n_reads) for t in self.tasks]
+        # The window cache holds views into shared device buffers; shards
+        # rebuild their own entries on demand.
+        state["win_cache"] = {}
         return state
 
     def __setstate__(self, state) -> None:

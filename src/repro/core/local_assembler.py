@@ -45,6 +45,7 @@ def extend_tasks(
     device: DeviceSpec = V100,
     kernel_version: str = "v2",
     workers: int = 1,
+    engine: str = "auto",
 ) -> tuple[dict[tuple[int, int], str], LocalAssemblyReport]:
     """Run local assembly over a prepared task set.
 
@@ -71,6 +72,7 @@ def extend_tasks(
             device=device,
             kernel_version=kernel_version,
             workers=workers,
+            engine=engine,
         )
         gpu = assembler.run(tasks)
         wall = time.perf_counter() - t0
@@ -94,6 +96,7 @@ def extend_contigs(
     device: DeviceSpec = V100,
     kernel_version: str = "v2",
     workers: int = 1,
+    engine: str = "auto",
 ) -> tuple["ContigSet", LocalAssemblyReport]:
     """Extend a contig set using per-contig candidate reads.
 
@@ -114,6 +117,7 @@ def extend_contigs(
         device=device,
         kernel_version=kernel_version,
         workers=workers,
+        engine=engine,
     )
     final = apply_extensions(contig_seqs, extensions)
     out = ContigSet(

@@ -7,10 +7,17 @@ transactions; an analytic V100 timing model prices each launch; the
 Instruction Roofline module reproduces the paper's §4.2 analysis.
 """
 
+from repro.gpusim.batched import BatchCounters, WarpBatch, batched_impl, register_batched
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import V100, WARP_SIZE, DeviceSpec
-from repro.gpusim.engine import WarpEngine, default_workers, shard_ranges
-from repro.gpusim.kernel import GpuContext, LaunchResult
+from repro.gpusim.engine import (
+    WarpEngine,
+    default_workers,
+    plan_shards,
+    shard_ranges,
+    shutdown_shared_pools,
+)
+from repro.gpusim.kernel import ENGINE_MODES, GpuContext, LaunchResult
 from repro.gpusim.memory import (
     DeviceAllocator,
     DeviceArray,
@@ -47,4 +54,11 @@ __all__ = [
     "WarpEngine",
     "default_workers",
     "shard_ranges",
+    "plan_shards",
+    "shutdown_shared_pools",
+    "ENGINE_MODES",
+    "BatchCounters",
+    "WarpBatch",
+    "register_batched",
+    "batched_impl",
 ]

@@ -18,6 +18,7 @@ Figs 8-10) is built from:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import Iterable, Mapping
 
 __all__ = ["KernelCounters"]
 
@@ -105,6 +106,28 @@ class KernelCounters:
     def copy(self) -> "KernelCounters":
         out = KernelCounters()
         out.merge(self)
+        return out
+
+    @classmethod
+    def from_per_warp(
+        cls,
+        arrays: Mapping[str, Iterable[int]],
+        labels: Mapping[str, Iterable[int]] | None = None,
+    ) -> "KernelCounters":
+        """Collapse per-warp counter arrays into one launch-wide counter set.
+
+        Used by the batched SoA engine, which accumulates every field as a
+        ``(n_warps,)`` array and only sums at the end of the launch.  Label
+        totals of zero are dropped, matching the sequential interpreter
+        which only creates a label entry when a nonzero amount is added.
+        """
+        out = cls()
+        for name, arr in arrays.items():
+            setattr(out, name, int(sum(int(v) for v in arr)))
+        for key, arr in (labels or {}).items():
+            total = int(sum(int(v) for v in arr))
+            if total:
+                out.labels[key] = total
         return out
 
     def breakdown(self) -> dict[str, int]:

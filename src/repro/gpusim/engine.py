@@ -35,13 +35,30 @@ the paper's kernels never do this, and generic users opt in explicitly via
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.warp import Warp
 
-__all__ = ["WarpEngine", "shard_ranges", "default_workers"]
+__all__ = [
+    "WarpEngine",
+    "shard_ranges",
+    "plan_shards",
+    "default_workers",
+    "shutdown_shared_pools",
+]
+
+#: don't bother forking work units smaller than this — per-shard dispatch
+#: (pickling args + result marshalling) costs roughly as much as a handful
+#: of warps, so tiny shards make adding workers a net loss.
+MIN_WARPS_PER_SHARD = 8
+
+#: shards per worker when the launch is big enough — small multiple so the
+#: pool can rebalance when warp costs are skewed (the §3.1 imbalance),
+#: without drowning in dispatch overhead.
+OVERSUBSCRIBE = 4
 
 
 def default_workers() -> int:
@@ -65,6 +82,28 @@ def shard_ranges(n_warps: int, n_shards: int) -> list[tuple[int, int]]:
         ranges.append((lo, hi))
         lo = hi
     return ranges
+
+
+def plan_shards(n_warps: int, workers: int) -> list[tuple[int, int]]:
+    """Pick the shard list for a launch of *n_warps* on *workers* workers.
+
+    Unlike the raw :func:`shard_ranges` split, this applies the dispatch
+    heuristics that fix the mid-size regression (e.g. 100 warps at
+    ``workers=4``, where four maximally-unequal shards ran at the pace of
+    the slowest one):
+
+    * never create shards smaller than :data:`MIN_WARPS_PER_SHARD` — small
+      launches use fewer shards (possibly one, which runs inline);
+    * large launches oversubscribe (:data:`OVERSUBSCRIBE` shards per
+      worker) so the pool can rebalance skewed warp costs instead of
+      waiting on one unlucky shard.
+    """
+    if n_warps <= 0:
+        return []
+    by_size = max(1, n_warps // MIN_WARPS_PER_SHARD)
+    n_shards = min(workers * OVERSUBSCRIBE, max(workers, by_size))
+    n_shards = min(n_shards, by_size, n_warps)
+    return shard_ranges(n_warps, n_shards)
 
 
 def _run_shard(payload):
@@ -93,13 +132,41 @@ def _pick_context() -> mp.context.BaseContext:
         return mp.get_context("spawn")
 
 
+#: process pools shared across engines, keyed by worker count.  Forking a
+#: pool costs tens of milliseconds; contexts are created per batch in the
+#: driver, so without reuse every batch (and every benchmarked context)
+#: would pay the startup again — a large slice of the workers=4 regression.
+_POOL_CACHE: dict[int, "mp.pool.Pool"] = {}
+
+
+def _shared_pool(workers: int):
+    pool = _POOL_CACHE.get(workers)
+    if pool is None:
+        pool = _pick_context().Pool(processes=workers)
+        _POOL_CACHE[workers] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Terminate all cached pools (atexit, and available to tests)."""
+    for pool in _POOL_CACHE.values():
+        pool.terminate()
+        pool.join()
+    _POOL_CACHE.clear()
+
+
+atexit.register(shutdown_shared_pools)
+
+
 class WarpEngine:
     """A persistent pool of warp-shard workers.
 
-    Created lazily on the first parallel launch and reused for every
-    launch of its owning :class:`~repro.gpusim.kernel.GpuContext` — worker
-    startup is paid once per context, not per launch.  Close with
-    :meth:`close` (the GPU context does this) or use as a context manager.
+    The underlying process pool is *shared across engines* (one cached pool
+    per worker count, see :data:`_POOL_CACHE`): driver code creates a
+    context per batch, and refusing to fork a fresh pool each time keeps
+    worker startup out of every batch's critical path.  :meth:`close` only
+    drops the engine's reference; the cached pool lives until
+    :func:`shutdown_shared_pools` (registered atexit).
     """
 
     def __init__(self, workers: int) -> None:
@@ -110,7 +177,7 @@ class WarpEngine:
 
     def _ensure_pool(self):
         if self._pool is None:
-            self._pool = _pick_context().Pool(processes=self.workers)
+            self._pool = _shared_pool(self.workers)
         return self._pool
 
     def run(
@@ -121,19 +188,19 @@ class WarpEngine:
         Returns the per-shard ``(counters, per_warp_inst)`` results in
         shard (= warp-id) order.
         """
-        shards = shard_ranges(n_warps, self.workers)
+        shards = plan_shards(n_warps, self.workers)
         payloads = [
             (kernel_fn, lo, hi, sector_bytes, args) for lo, hi in shards
         ]
         if len(payloads) == 1:
             return [_run_shard(payloads[0])]
-        return self._ensure_pool().map(_run_shard, payloads)
+        # chunksize=1 so idle workers steal remaining shards (the whole
+        # point of oversubscribing in plan_shards).
+        return self._ensure_pool().map(_run_shard, payloads, chunksize=1)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        # The pool is shared (see _POOL_CACHE); just drop the reference.
+        self._pool = None
 
     def __enter__(self) -> "WarpEngine":
         return self

@@ -27,9 +27,13 @@ from repro.gpusim.memory import DeviceAllocator, DeviceArray
 from repro.gpusim.timing import KernelTiming, TimingModel
 from repro.gpusim.warp import Warp
 
-__all__ = ["LaunchResult", "GpuContext"]
+__all__ = ["LaunchResult", "GpuContext", "ENGINE_MODES"]
 
 KernelFn = Callable[..., None]
+
+#: valid ``GpuContext(engine=...)`` values.  ``"auto"`` resolves to
+#: ``"pool"`` when the context has workers, else ``"sequential"``.
+ENGINE_MODES = ("auto", "sequential", "pool", "batched")
 
 
 @dataclass(frozen=True)
@@ -70,12 +74,21 @@ class LaunchResult:
 class GpuContext:
     """A simulated GPU: device spec, allocator, worker engine, launch log.
 
-    ``workers > 1`` turns on the parallel execution engine: the allocator
-    backs device arrays with shared memory and every launch's warps are
-    sharded across a persistent process pool.  Kernels must keep cross-warp
-    state disjoint (the paper's all do — per-task table regions); results
-    are bit-identical to ``workers=1``.  Call :meth:`close` (or use the
-    context manager form) when done to stop the pool and unlink segments.
+    The ``engine`` field picks how a launch's warps are executed; all modes
+    produce bit-identical :class:`LaunchResult`\\ s:
+
+    * ``"sequential"`` — one :class:`Warp` interpreter per warp, in-process;
+    * ``"pool"`` — warps sharded across a persistent process pool; device
+      arrays are backed by shared memory.  Kernels must keep cross-warp
+      state disjoint (the paper's all do — per-task table regions);
+    * ``"batched"`` — the SoA engine (:mod:`repro.gpusim.batched`): all
+      warps advance in lockstep through vectorised kernel steps.  Kernels
+      without a registered batched implementation fall back to sequential;
+    * ``"auto"`` (default) — ``"pool"`` when ``workers > 1``, else
+      ``"sequential"``.
+
+    Call :meth:`close` (or use the context manager form) when done to
+    release the pool and unlink shared segments.
     """
 
     device: DeviceSpec = V100
@@ -85,14 +98,27 @@ class GpuContext:
     transfer_bytes: int = 0
     transfer_time_s: float = 0.0
     workers: int = 1
+    engine_mode: str = field(default="auto", init=False)
+    engine: str = "auto"
     _engine: "object" = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.engine not in ENGINE_MODES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_MODES}, got {self.engine!r}"
+            )
+        self.engine_mode = (
+            ("pool" if self.workers > 1 else "sequential")
+            if self.engine == "auto"
+            else self.engine
+        )
         if self.allocator is None:
+            # Only the process pool needs shared-memory-backed arrays.
             self.allocator = DeviceAllocator(
-                self.device.global_mem_bytes, shared=self.workers > 1
+                self.device.global_mem_bytes,
+                shared=self.engine_mode == "pool" and self.workers > 1,
             )
         if self.timing_model is None:
             self.timing_model = TimingModel(self.device)
@@ -122,9 +148,10 @@ class GpuContext:
     # -- launching ----------------------------------------------------------------
 
     def _parallel(self, n_warps: int) -> bool:
-        """Use the engine?  Needs >1 workers, >1 warps and shared buffers."""
+        """Use the pool?  Needs pool mode, >1 workers/warps, shared buffers."""
         return (
-            self.workers > 1
+            self.engine_mode == "pool"
+            and self.workers > 1
             and n_warps > 1
             and getattr(self.allocator, "shared", False)
         )
@@ -142,8 +169,18 @@ class GpuContext:
         counters = KernelCounters()
         counters.n_warps_launched = n_warps
         per_warp: list[int] = []
-        if self._parallel(n_warps):
-            for shard_counters, shard_per_warp in self.engine.run(
+        batched = None
+        if self.engine_mode == "batched" and n_warps > 0:
+            from repro.gpusim.batched import batched_impl
+
+            batched = batched_impl(kernel_fn)
+        if batched is not None:
+            counters, per_warp = batched(
+                n_warps, self.device.sector_bytes, *args
+            )
+            counters.n_warps_launched = n_warps
+        elif self._parallel(n_warps):
+            for shard_counters, shard_per_warp in self.warp_engine.run(
                 kernel_fn, n_warps, self.device.sector_bytes, args
             ):
                 counters.merge(shard_counters)
@@ -172,8 +209,8 @@ class GpuContext:
     # -- engine lifecycle --------------------------------------------------------
 
     @property
-    def engine(self):
-        """The lazily-created warp engine (parallel contexts only)."""
+    def warp_engine(self):
+        """The lazily-created warp engine (pool-mode contexts only)."""
         if self._engine is None:
             from repro.gpusim.engine import WarpEngine
 

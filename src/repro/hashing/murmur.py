@@ -111,22 +111,23 @@ def murmurhash2_rows(rows: np.ndarray, seed: int = 0x9747B28C) -> np.ndarray:
     if rows.ndim != 2:
         raise ValueError("rows must be 2-D (n, width)")
     n, width = rows.shape
+    n_words = width // 4
     with np.errstate(over="ignore"):
         h = np.full(n, np.uint32(seed) ^ np.uint32(width), dtype=np.uint32)
-        i = 0
-        while width - i >= 4:
-            k = (
-                rows[:, i].astype(np.uint32)
-                | (rows[:, i + 1].astype(np.uint32) << np.uint32(8))
-                | (rows[:, i + 2].astype(np.uint32) << np.uint32(16))
-                | (rows[:, i + 3].astype(np.uint32) << np.uint32(24))
+        if n_words:
+            # Each aligned 4-byte group is one little-endian u32 word, so a
+            # single view replaces the per-byte cast/shift/or assembly.
+            body = np.ascontiguousarray(rows[:, : n_words * 4]).view(
+                np.dtype("<u4")
             )
-            k *= _M32
-            k ^= k >> np.uint32(_R32)
-            k *= _M32
-            h *= _M32
-            h ^= k
-            i += 4
+            for j in range(n_words):
+                k = body[:, j].copy()
+                k *= _M32
+                k ^= k >> np.uint32(_R32)
+                k *= _M32
+                h *= _M32
+                h ^= k
+        i = n_words * 4
         rem = width - i
         if rem == 3:
             h ^= rows[:, i + 2].astype(np.uint32) << np.uint32(16)

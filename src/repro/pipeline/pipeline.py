@@ -55,6 +55,8 @@ class PipelineConfig:
     gpu_kernel_version: str = "v2"
     #: worker processes for the GPU simulator's parallel warp engine
     local_assembly_workers: int = 1
+    #: warp execution engine ("auto" | "sequential" | "pool" | "batched")
+    local_assembly_engine: str = "auto"
     # scaffolding
     insert_mean: float = 350.0
     #: estimate the insert size from same-contig pairs (MHM2 behaviour);
@@ -70,6 +72,12 @@ class PipelineConfig:
             raise ValueError("all k values must be odd")
         if self.local_assembly_mode not in ("cpu", "gpu"):
             raise ValueError("local_assembly_mode must be 'cpu' or 'gpu'")
+        from repro.gpusim import ENGINE_MODES
+
+        if self.local_assembly_engine not in ENGINE_MODES:
+            raise ValueError(
+                f"local_assembly_engine must be one of {ENGINE_MODES}"
+            )
 
 
 @dataclass
@@ -189,6 +197,7 @@ def run_pipeline(
             mode=config.local_assembly_mode,
             kernel_version=config.gpu_kernel_version,
             workers=config.local_assembly_workers,
+            engine=config.local_assembly_engine,
         )
 
     scaffolds: ScaffoldingResult | None = None

@@ -90,6 +90,53 @@ class TestCompression:
         assert kmer_entry_bytes(77, 0) / (pointer_entry_bytes(0)) == pytest.approx(15.4)
 
 
+class TestEdgeCases:
+    def test_zero_read_bin_layout(self):
+        """A bin of only read-less tasks still gets well-formed tables:
+        one slot each, disjoint regions, and batch planning succeeds."""
+        ts = TaskSet([_task(i, []) for i in range(4)])
+        layout = plan_layout(ts)
+        assert layout.sizes.tolist() == [1, 1, 1, 1]
+        assert layout.total_slots == 4
+        assert [layout.region(i) for i in range(4)] == [
+            (0, 1), (1, 2), (2, 3), (3, 4)
+        ]
+        assert plan_batches(ts, device_mem_bytes=10**6) == [[0, 1, 2, 3]]
+
+    def test_zero_read_bin_extends_nothing(self):
+        ts = TaskSet([_task(i, []) for i in range(3)])
+        from repro.core.config import LocalAssemblyConfig
+        from repro.core.driver import GpuLocalAssembler
+
+        report = GpuLocalAssembler(LocalAssemblyConfig(k_init=21)).run(ts)
+        assert set(report.extensions.values()) == {""}
+
+    def test_single_read_shorter_than_k(self):
+        """One read shorter than k: the load-factor bound collapses to 0
+        (no k-mer fits), but the table is still sized from read bases and
+        the k-mer build yields an empty table, not an error."""
+        from repro.core.cpu_local_assembly import build_kmer_table
+
+        task = _task(0, [10])
+        assert load_factor_bound(10, 21) == 0.0
+        assert table_slots(task) == 10
+        assert len(build_kmer_table(task, 21, 10)) == 0
+
+    def test_bound_at_boundary_lengths(self):
+        """(l-k+1)/l at the edges: l == k gives one window (1/l), l == k-1
+        gives none, and the bound grows with l but never crosses the
+        paper's 0.94 ceiling for l <= 300, k >= 21."""
+        assert load_factor_bound(21, 21) == pytest.approx(1 / 21)
+        assert load_factor_bound(20, 21) == 0.0
+        assert load_factor_bound(0, 21) == 0.0
+        worst = worst_case_load_factor()
+        for l in (21, 22, 50, 150, 299, 300):
+            for k in (21, 33, 55):
+                assert load_factor_bound(l, k) <= worst + 1e-12
+        bounds = [load_factor_bound(l, 21) for l in range(21, 301)]
+        assert bounds == sorted(bounds)
+
+
 class TestBatching:
     def test_everything_fits_one_batch(self):
         ts = TaskSet([_task(i, [100]) for i in range(10)])
