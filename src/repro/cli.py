@@ -14,6 +14,9 @@ Commands
 ``scale``
     Print the Summit-scale projections (Figs 13/14 tables and the Fig 2
     stage shares) for the WA or arcticsynth profile.
+``lint``
+    Static kernel-hygiene lint (twin parity, banned impure calls,
+    discarded atomics) over the simulated-kernel source tree.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ def _positive_int(text: str) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.gpusim import ENGINE_MODES
+    from repro.sanitize import SANITIZE_MODES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--engine", choices=ENGINE_MODES, default="auto",
                      help="warp execution engine (gpu mode; 'batched' runs "
                           "every warp of a launch in lockstep)")
+    asm.add_argument("--sanitize", choices=SANITIZE_MODES, default="off",
+                     help="dynamic kernel checkers (gpu mode; compute-"
+                          "sanitizer analogue: memcheck/racecheck/initcheck)")
 
     st = sub.add_parser("stats", help="assembly statistics for FASTA files")
     st.add_argument("fastas", type=Path, nargs="+")
@@ -97,10 +104,20 @@ def build_parser() -> argparse.ArgumentParser:
     la.add_argument("--engine", choices=ENGINE_MODES, default="auto",
                     help="warp execution engine (gpu mode; 'batched' runs "
                          "every warp of a launch in lockstep)")
+    la.add_argument("--sanitize", choices=SANITIZE_MODES, default="off",
+                    help="dynamic kernel checkers (gpu mode; compute-"
+                         "sanitizer analogue: memcheck/racecheck/initcheck)")
 
     sc = sub.add_parser("scale", help="Summit-scale projections")
     sc.add_argument("--dataset", choices=["wa", "arcticsynth"], default="wa")
     sc.add_argument("--nodes", type=int, nargs="+", default=None)
+
+    ln = sub.add_parser("lint", help="static kernel-hygiene lint")
+    ln.add_argument("paths", type=Path, nargs="*",
+                    help="files or directories to lint (default: the "
+                         "repro kernel tree: core/ and gpusim/)")
+    ln.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit findings as a JSON array")
 
     return parser
 
@@ -152,6 +169,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         local_assembly=LocalAssemblyConfig(max_reads_per_end=args.max_reads_per_end),
         local_assembly_workers=args.workers,
         local_assembly_engine=args.engine,
+        local_assembly_sanitize=args.sanitize,
         run_scaffolding=not args.no_scaffold,
     )
     args.out.mkdir(parents=True, exist_ok=True)
@@ -262,6 +280,7 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
         kernel_version=args.kernel,
         workers=args.workers,
         engine=args.engine,
+        sanitize=args.sanitize,
     )
     print(f"{report.n_extended} ends extended "
           f"(+{report.total_extension_bases} bp) in {report.wall_time_s:.2f} s wall")
@@ -274,6 +293,34 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
         print(f"modelled V100 time {g.total_time_s*1e3:.2f} ms, "
               f"{g.n_batches} batch(es), "
               f"{g.high_water_bytes/1e6:.1f} MB device high-water")
+        if g.sanitizer is not None:
+            print(g.sanitizer.summary())
+            if not g.sanitizer.clean:
+                return 1
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    import repro
+    from repro.sanitize import lint_paths
+
+    paths = list(args.paths)
+    if not paths:
+        pkg = Path(repro.__file__).parent
+        paths = [pkg / "core", pkg / "gpusim"]
+    findings = lint_paths(paths)
+    if args.as_json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f)
+    if findings:
+        print(f"{len(findings)} lint finding(s)", file=sys.stderr)
+        return 1
+    if not args.as_json:
+        print(f"clean: {len(paths)} path(s) linted, no findings")
     return 0
 
 
@@ -284,6 +331,7 @@ _COMMANDS = {
     "scale": _cmd_scale,
     "dump-localassm": _cmd_dump_localassm,
     "localassm": _cmd_localassm,
+    "lint": _cmd_lint,
 }
 
 

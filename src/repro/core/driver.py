@@ -53,6 +53,8 @@ class GpuLocalAssemblyReport:
     transfer_time_s: float = 0.0
     transfer_bytes: int = 0
     high_water_bytes: int = 0
+    #: SanitizerReport when the run was sanitized, else None
+    sanitizer: "object" = None
 
     @property
     def kernel_time_s(self) -> float:
@@ -106,6 +108,11 @@ class GpuLocalAssembler:
         SoA engine that advances all warps of a launch in lockstep (v2
         kernels only; v1 falls back to sequential interpretation).  All
         modes are bit-identical.
+    sanitize:
+        Dynamic checker mode (``"off"``, ``"memcheck"``, ``"racecheck"``,
+        ``"initcheck"`` or ``"full"``).  Anything but ``"off"`` attaches a
+        :class:`~repro.sanitize.Sanitizer` to the context and stores its
+        report on :attr:`GpuLocalAssemblyReport.sanitizer`.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class GpuLocalAssembler:
         kernel_version: str = "v2",
         workers: int = 1,
         engine: str = "auto",
+        sanitize: str = "off",
     ) -> None:
         if kernel_version not in _KERNELS:
             raise ValueError(f"kernel_version must be one of {sorted(_KERNELS)}")
@@ -122,11 +130,16 @@ class GpuLocalAssembler:
             raise ValueError("workers must be >= 1")
         if engine not in ENGINE_MODES:
             raise ValueError(f"engine must be one of {ENGINE_MODES}")
+        from repro.sanitize import SANITIZE_MODES
+
+        if sanitize not in SANITIZE_MODES:
+            raise ValueError(f"sanitize must be one of {SANITIZE_MODES}")
         self.config = config or LocalAssemblyConfig()
         self.device = device
         self.kernel_version = kernel_version
         self.workers = workers
         self.engine = engine
+        self.sanitize = sanitize
 
     def run(self, tasks: TaskSet) -> GpuLocalAssemblyReport:
         """Extend every task; returns the report with all measurements."""
@@ -144,7 +157,12 @@ class GpuLocalAssembler:
             for i in tasks_by_cid[cid]:
                 extensions[(tasks[i].cid, tasks[i].side)] = ""
 
-        ctx = GpuContext(device=self.device, workers=self.workers, engine=self.engine)
+        ctx = GpuContext(
+            device=self.device,
+            workers=self.workers,
+            engine=self.engine,
+            sanitize=self.sanitize,
+        )
         report = GpuLocalAssemblyReport(extensions=extensions, bins=bins)
 
         try:
@@ -187,6 +205,7 @@ class GpuLocalAssembler:
             report.transfer_time_s = ctx.transfer_time_s
             report.transfer_bytes = ctx.transfer_bytes
             report.high_water_bytes = ctx.allocator.high_water_bytes
+            report.sanitizer = ctx.sanitizer_report()
         finally:
             ctx.close()
         return report

@@ -119,10 +119,10 @@ def _clear_tables(warp: Warp, batch: DeviceBatch, t: int) -> None:
 def _update_counts(warp: Warp, batch: DeviceBatch, gidx: np.ndarray, ext: np.ndarray, hi: np.ndarray) -> None:
     """Atomically add this occurrence to the entry's extension tallies."""
     cidx = gidx * 4 + ext
-    warp.atomic_add(batch.ht_total, cidx, 1)
+    _ = warp.atomic_add(batch.ht_total, cidx, 1)
     with warp.where(hi):
         if warp.any_active:
-            warp.atomic_add(batch.ht_hi, cidx, 1)
+            _ = warp.atomic_add(batch.ht_hi, cidx, 1)
 
 
 def _probe_insert_v2(
@@ -330,6 +330,7 @@ def _clear_tables_v1(warp: Warp, batch: DeviceBatch, lane_tasks: np.ndarray, mas
     lanes (~1 sector per 4 consecutive int64 slots per lane).
     """
     sizes = []
+    regions = []
     for lane in np.nonzero(mask)[0]:
         t = int(lane_tasks[lane])
         s, e = batch.ht_region(t)
@@ -339,6 +340,14 @@ def _clear_tables_v1(warp: Warp, batch: DeviceBatch, lane_tasks: np.ndarray, mas
         vs, ve = batch.vis_region(t)
         batch.vis_ptr.data[vs:ve] = EMPTY_PTR
         sizes.append((e - s) + 8 * (e - s) // 2 + (ve - vs))
+        regions.extend(
+            [
+                (batch.ht_ptr, s, e - s),
+                (batch.ht_hi, 4 * s, 4 * (e - s)),
+                (batch.ht_total, 4 * s, 4 * (e - s)),
+                (batch.vis_ptr, vs, ve - vs),
+            ]
+        )
     if not sizes:
         return
     arr = np.asarray(sizes, dtype=np.int64)
@@ -347,6 +356,7 @@ def _clear_tables_v1(warp: Warp, batch: DeviceBatch, lane_tasks: np.ndarray, mas
         n_inst=n_inst,
         active_slots=int(arr.sum()),
         transactions=int(arr.sum()) // 4 + len(sizes),
+        regions=regions,
     )
 
 
@@ -414,7 +424,7 @@ def _mer_walks_v1(
                 empty = pending & (vptrs == EMPTY_PTR)
                 if empty.any():
                     with warp.where(empty):
-                        warp.atomic_cas(batch.vis_ptr, vidx, EMPTY_PTR, kpos)
+                        _ = warp.atomic_cas(batch.vis_ptr, vidx, EMPTY_PTR, kpos)
                 occupied = pending & ~empty
                 eq = np.zeros(_LANES, dtype=bool)
                 if occupied.any():
@@ -618,7 +628,7 @@ def _visited_check_insert(
         warp.int_op(2)
         cur = int(warp.global_load(batch.vis_ptr, vidx)[0])
         if cur == EMPTY_PTR:
-            warp.atomic_cas(batch.vis_ptr, vidx, EMPTY_PTR, my_ptr)
+            _ = warp.atomic_cas(batch.vis_ptr, vidx, EMPTY_PTR, my_ptr)
             return False
         warp.global_gather_span(seq, np.full(_LANES, cur, dtype=np.int64), k)
         warp.int_op((k + 7) // 8)
@@ -715,6 +725,9 @@ def _extension_task_kernel(warp: Warp, warp_id: int, batch: DeviceBatch, task_id
     while not state.done:
         _clear_tables(warp, batch, t)
         build_fn(warp, batch, t, state.k)
+        # Build-to-walk barrier: the walk's lane-0 reads must observe the
+        # whole warp's table writes (§3.3 hand-off; racecheck-visible).
+        warp.sync()
         n_app, status = mer_walk_gpu(warp, batch, t, state.k)
         total_appended += n_app
         # Broadcast walk state to the whole warp (§3.4 shuffle).

@@ -203,11 +203,11 @@ def _probe_insert_group(
         u = np.nonzero(resolved.any(axis=1))[0]
         if u.size:
             cidx = gidx * 4 + ext[a]
-            wb.atomic_add(batch.ht_total, cidx[u], 1, resolved[u], r[u])
+            _ = wb.atomic_add(batch.ht_total, cidx[u], 1, resolved[u], r[u])
             hq = resolved & hi[a]
             v = np.nonzero(hq.any(axis=1))[0]
             if v.size:
-                wb.atomic_add(batch.ht_hi, cidx[v], 1, hq[v], r[v])
+                _ = wb.atomic_add(batch.ht_hi, cidx[v], 1, hq[v], r[v])
         new_pending = P & ~resolved
         pending[a] = new_pending
         off[a] += new_pending
@@ -327,7 +327,7 @@ def _walk_group(
             isempty = cur == EMPTY_PTR
             if isempty.any():
                 e = pl[isempty]
-                wb.atomic_cas_lane0(
+                _ = wb.atomic_cas_lane0(
                     batch.vis_ptr, vidx[isempty], EMPTY_PTR, kpos[e], rows[e]
                 )
                 pend[e] = False  # inserted: first sighting
@@ -477,6 +477,9 @@ def run_extension_v2_batched(
             kv = int(kv)
             _clear_group(wb, batch, g, ht_start[g], slots[g], vis_start[g])
             _build_group(wb, batch, g, t_arr[g], kv, ht_start[g], slots[g])
+            # Build-to-walk barrier, matching the sequential kernel's
+            # warp.sync() between build_fn and mer_walk_gpu.
+            wb.sync_op(g, _LANES)
             app, st, new_slen = _walk_group(
                 wb, batch, g, kv, seq_off[g], slen[g], ht_start[g], slots[g],
                 vis_start[g],

@@ -178,11 +178,13 @@ def pack_batch(
     seq_buf = ctx.to_device(seq_host)
     ht_ptr = ctx.alloc(total_slots, np.int64)
     ht_ptr.data[...] = EMPTY_PTR
+    ctx.mark_initialized(ht_ptr)  # host-side memset (a cudaMemset analogue)
     ht_hi = ctx.alloc(total_slots * 4, np.uint32)
     ht_total = ctx.alloc(total_slots * 4, np.uint32)
     vis_slots = 2 * config.max_walk_len
     vis_ptr = ctx.alloc(len(tasks) * vis_slots, np.int64)
     vis_ptr.data[...] = EMPTY_PTR
+    ctx.mark_initialized(vis_ptr)
     out_ext_len = ctx.alloc(max(len(tasks), 1), np.int32)
 
     return DeviceBatch(

@@ -46,6 +46,7 @@ def extend_tasks(
     kernel_version: str = "v2",
     workers: int = 1,
     engine: str = "auto",
+    sanitize: str = "off",
 ) -> tuple[dict[tuple[int, int], str], LocalAssemblyReport]:
     """Run local assembly over a prepared task set.
 
@@ -73,6 +74,7 @@ def extend_tasks(
             kernel_version=kernel_version,
             workers=workers,
             engine=engine,
+            sanitize=sanitize,
         )
         gpu = assembler.run(tasks)
         wall = time.perf_counter() - t0
@@ -97,6 +99,7 @@ def extend_contigs(
     kernel_version: str = "v2",
     workers: int = 1,
     engine: str = "auto",
+    sanitize: str = "off",
 ) -> tuple["ContigSet", LocalAssemblyReport]:
     """Extend a contig set using per-contig candidate reads.
 
@@ -118,6 +121,7 @@ def extend_contigs(
         kernel_version=kernel_version,
         workers=workers,
         engine=engine,
+        sanitize=sanitize,
     )
     final = apply_extensions(contig_seqs, extensions)
     out = ContigSet(

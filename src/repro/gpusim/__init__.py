@@ -7,7 +7,13 @@ transactions; an analytic V100 timing model prices each launch; the
 Instruction Roofline module reproduces the paper's §4.2 analysis.
 """
 
-from repro.gpusim.batched import BatchCounters, WarpBatch, batched_impl, register_batched
+from repro.gpusim.batched import (
+    BatchCounters,
+    WarpBatch,
+    batched_impl,
+    register_batched,
+    set_active_sanitizer,
+)
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import V100, WARP_SIZE, DeviceSpec
 from repro.gpusim.engine import (
@@ -21,6 +27,7 @@ from repro.gpusim.kernel import ENGINE_MODES, GpuContext, LaunchResult
 from repro.gpusim.memory import (
     DeviceAllocator,
     DeviceArray,
+    DeviceFreeError,
     DeviceOutOfMemory,
     count_sectors,
 )
@@ -42,6 +49,7 @@ __all__ = [
     "LaunchResult",
     "DeviceAllocator",
     "DeviceArray",
+    "DeviceFreeError",
     "DeviceOutOfMemory",
     "count_sectors",
     "RooflinePoint",
@@ -61,4 +69,5 @@ __all__ = [
     "WarpBatch",
     "register_batched",
     "batched_impl",
+    "set_active_sanitizer",
 ]

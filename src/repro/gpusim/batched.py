@@ -40,14 +40,27 @@ import numpy as np
 
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import WARP_SIZE
-from repro.gpusim.memory import DeviceArray
+from repro.gpusim.memory import DeviceArray, DeviceFreeError
 
 __all__ = [
     "BatchCounters",
     "WarpBatch",
     "register_batched",
     "batched_impl",
+    "set_active_sanitizer",
 ]
+
+#: sanitizer picked up by WarpBatch instances created inside a batched
+#: kernel implementation.  Batched impls construct their own WarpBatch, so
+#: GpuContext.launch publishes the context's sanitizer here around the
+#: call instead of threading it through every impl signature.
+_ACTIVE_SANITIZER = None
+
+
+def set_active_sanitizer(sanitizer) -> None:
+    """Publish (or clear, with None) the sanitizer for new WarpBatches."""
+    global _ACTIVE_SANITIZER
+    _ACTIVE_SANITIZER = sanitizer
 
 #: per-group composite sort keys: ``group * _KEY_BASE + sector``.  Sector
 #: ids fit comfortably (16 GB of device space / 32-byte sectors < 2^30)
@@ -152,9 +165,48 @@ class WarpBatch:
     ===========================  =======================================
     """
 
-    def __init__(self, counters: BatchCounters, sector_bytes: int = 32) -> None:
+    def __init__(
+        self, counters: BatchCounters, sector_bytes: int = 32, sanitizer=None
+    ) -> None:
         self.counters = counters
         self.sector_bytes = int(sector_bytes)
+        #: explicit sanitizer, or whatever GpuContext.launch published
+        self.sanitizer = sanitizer if sanitizer is not None else _ACTIVE_SANITIZER
+
+    # -- strict validation (parity with Warp's always-on checks) -------------
+
+    def _strict_check(self, darr: DeviceArray, idx_flat, op: str) -> None:
+        if darr.freed:
+            raise DeviceFreeError(
+                f"{op} on freed device array at 0x{darr.base_addr:x}"
+            )
+        idx_flat = np.asarray(idx_flat)
+        if idx_flat.size:
+            lo, hi = int(idx_flat.min()), int(idx_flat.max())
+            if lo < 0 or hi >= darr.data.size:
+                raise IndexError(
+                    f"{op} index {lo if lo < 0 else hi} out of bounds for "
+                    f"device array of {darr.data.size} elements"
+                )
+
+    def _strict_span_check(self, darr: DeviceArray, start, length, op: str) -> None:
+        if darr.freed:
+            raise DeviceFreeError(
+                f"{op} on freed device array at 0x{darr.base_addr:x}"
+            )
+        start = np.asarray(start, dtype=np.int64)
+        length = np.asarray(length, dtype=np.int64)
+        live = length > 0
+        bad = live & ((start < 0) | (start + length > darr.data.size))
+        if bad.any():
+            j = int(np.argmax(bad))
+            s0, l0 = int(np.broadcast_to(start, bad.shape)[j]), int(
+                np.broadcast_to(length, bad.shape)[j]
+            )
+            raise IndexError(
+                f"{op} span [{s0}, {s0 + l0}) out of bounds for device "
+                f"array of {darr.data.size} elements"
+            )
 
     # -- issue bookkeeping --------------------------------------------------
 
@@ -189,6 +241,8 @@ class WarpBatch:
     def sync_op(self, rows, active) -> None:
         self._issue(rows, 1, active)
         self.counters.sync_inst[rows] += 1
+        if self.sanitizer is not None:
+            self.sanitizer.warp_sync_rows(rows)
 
     def local_store_op(self, n, rows, active) -> None:
         self._issue(rows, n, active)
@@ -267,6 +321,18 @@ class WarpBatch:
         n_inst = np.where(length > 0, (length + WARP_SIZE - 1) // WARP_SIZE, 0)
         self._bulk(rows, n_inst, np.maximum(length, 0))
         self.counters.global_ld_inst[rows] += n_inst
+        s = self.sanitizer
+        if s is None or not s.memcheck:
+            self._strict_span_check(darr, start, length, "load_span")
+        if s is not None:
+            rows_arr = np.asarray(rows)
+            start_b = np.broadcast_to(np.asarray(start, dtype=np.int64), rows_arr.shape)
+            length_b = np.broadcast_to(length, rows_arr.shape)
+            for i in range(rows_arr.size):
+                s.span(
+                    darr, start_b[i], length_b[i], rows_arr[i],
+                    write=False, op="load_span",
+                )
         self.counters.global_ld_transactions[rows] += self._span_sectors(
             darr, start, length
         )
@@ -281,10 +347,19 @@ class WarpBatch:
         self.counters.global_st_transactions[rows] += self._span_sectors(
             darr, start, length
         )
+        san = self.sanitizer
+        if san is None or not san.memcheck:
+            self._strict_span_check(darr, start, length, "store_span")
+        rows_arr = np.asarray(rows)
         flat = darr.data.reshape(-1)
-        for s, l in zip(start.tolist(), length.tolist()):
-            if l > 0:
-                flat[s : s + l] = value
+        for i, (s, l) in enumerate(zip(start.tolist(), length.tolist())):
+            if l <= 0:
+                continue
+            if san is not None and not san.span(
+                darr, s, l, rows_arr[i], write=True, op="store_span"
+            ):
+                continue  # memcheck suppressed the faulting span
+            flat[s : s + l] = value
 
     # -- lane-masked global memory ------------------------------------------------
 
@@ -315,10 +390,21 @@ class WarpBatch:
         self.counters.global_ld_inst[rows] += 1
         flat = darr.data.reshape(-1)
         out = np.zeros(mask.shape, dtype=darr.data.dtype)
-        rloc, _ = np.nonzero(mask)
-        out[mask] = flat[idx[mask]]
+        rloc, cloc = np.nonzero(mask)
+        ai = idx[mask]
+        s = self.sanitizer
+        if s is None or not s.memcheck:
+            self._strict_check(darr, ai, "load_gather")
+        if s is not None:
+            keep = s.access(
+                darr, ai, np.asarray(rows)[rloc], cloc,
+                write=False, op="load_gather",
+            )
+            if keep is not None:
+                rloc, cloc, ai = rloc[keep], cloc[keep], ai[keep]
+        out[rloc, cloc] = flat[ai]
         self.counters.global_ld_transactions[rows] += self._element_transactions(
-            darr, idx[mask], rloc, len(rows)
+            darr, ai, rloc, len(rows)
         )
         return out
 
@@ -327,10 +413,22 @@ class WarpBatch:
         self._issue(rows, 1, mask.sum(axis=1))
         self.counters.global_st_inst[rows] += 1
         flat = darr.data.reshape(-1)
-        rloc, _ = np.nonzero(mask)
-        flat[idx[mask]] = values[mask]
+        rloc, cloc = np.nonzero(mask)
+        ai = idx[mask]
+        vals = values[mask]
+        s = self.sanitizer
+        if s is None or not s.memcheck:
+            self._strict_check(darr, ai, "store_scatter")
+        if s is not None:
+            keep = s.access(
+                darr, ai, np.asarray(rows)[rloc], cloc,
+                write=True, op="store_scatter",
+            )
+            if keep is not None:
+                rloc, ai, vals = rloc[keep], ai[keep], vals[keep]
+        flat[ai] = vals
         self.counters.global_st_transactions[rows] += self._element_transactions(
-            darr, idx[mask], rloc, len(rows)
+            darr, ai, rloc, len(rows)
         )
 
     def gather_span(
@@ -361,9 +459,14 @@ class WarpBatch:
         if fuse_int:
             self.counters.int_inst[rows] += fuse_int
         self.counters.global_ld_inst[rows] += n_words
-        rloc, _ = np.nonzero(mask)
+        rloc, cloc = np.nonzero(mask)
         if rloc.size == 0:
             return
+        if self.sanitizer is not None:
+            self.sanitizer.byte_gather(
+                darr, starts[mask].astype(np.int64), nbytes,
+                np.asarray(rows)[rloc], cloc, op="gather_span",
+            )
         addrs = darr.base_addr + starts[mask].astype(np.int64)
         w = np.arange(n_words, dtype=np.int64)
         word_addrs = addrs[:, None] + word_bytes * w[None, :]
@@ -401,6 +504,17 @@ class WarpBatch:
         self.counters.global_ld_transactions[rows] += self._single_element_transactions(
             darr, idx
         )
+        s = self.sanitizer
+        if s is None or not s.memcheck:
+            self._strict_check(darr, idx, "load_lane0")
+        if s is not None:
+            keep = s.access(
+                darr, idx, np.asarray(rows), 0, write=False, op="load_lane0"
+            )
+            if keep is not None:
+                out = np.zeros(idx.shape, dtype=darr.data.dtype)
+                out[keep] = darr.data.reshape(-1)[idx[keep]]
+                return out
         return darr.data.reshape(-1)[idx]
 
     def store_lane0(
@@ -412,7 +526,20 @@ class WarpBatch:
             self.counters.local_transactions[rows] += 1
         self.counters.global_st_inst[rows] += 1
         idx = np.asarray(idx, dtype=np.int64)
-        darr.data.reshape(-1)[idx] = values
+        s = self.sanitizer
+        if s is None or not s.memcheck:
+            self._strict_check(darr, idx, "store_lane0")
+        keep = None
+        if s is not None:
+            keep = s.access(
+                darr, idx, np.asarray(rows), 0, write=True, op="store_lane0"
+            )
+        if keep is not None:
+            darr.data.reshape(-1)[idx[keep]] = (
+                np.asarray(values)[keep] if np.ndim(values) else values
+            )
+        else:
+            darr.data.reshape(-1)[idx] = values
         self.counters.global_st_transactions[rows] += self._single_element_transactions(
             darr, idx
         )
@@ -435,6 +562,11 @@ class WarpBatch:
         if fuse_int:
             self.counters.int_inst[rows] += fuse_int
         self.counters.global_ld_inst[rows] += n_words
+        if self.sanitizer is not None:
+            self.sanitizer.byte_gather(
+                darr, np.asarray(starts, dtype=np.int64), nbytes,
+                np.asarray(rows), 0, op="gather_span_lane0",
+            )
         addrs = darr.base_addr + np.asarray(starts, dtype=np.int64)
         w = np.arange(n_words, dtype=np.int64)
         word_addrs = addrs[:, None] + word_bytes * w[None, :]
@@ -451,15 +583,55 @@ class WarpBatch:
         self.counters.atomic_inst[rows] += 1
         idx = np.asarray(idx, dtype=np.int64)
         flat = darr.data.reshape(-1)
-        old = flat[idx].copy()
-        hit = old == compare
-        flat[idx[hit]] = np.asarray(value)[hit] if np.ndim(value) else value
+        s = self.sanitizer
+        keep = None
+        if s is None or not s.memcheck:
+            self._strict_check(darr, idx, "atomic_cas_lane0")
+        if s is not None:
+            keep = s.access(
+                darr, idx, np.asarray(rows), 0,
+                write=True, atomic=True, op="atomic_cas_lane0",
+            )
+        if keep is not None:
+            old = np.zeros(idx.shape, dtype=darr.data.dtype)
+            ik = idx[keep]
+            cur = flat[ik].copy()
+            old[keep] = cur
+            hit = cur == compare
+            flat[ik[hit]] = (
+                np.asarray(value)[keep][hit] if np.ndim(value) else value
+            )
+        else:
+            old = flat[idx].copy()
+            hit = old == compare
+            flat[idx[hit]] = np.asarray(value)[hit] if np.ndim(value) else value
         self.counters.atomic_transactions[rows] += self._single_element_transactions(
             darr, idx
         )
         return old
 
     # -- lane-masked atomics ---------------------------------------------------------
+
+    def _sanitize_rmw(self, darr: DeviceArray, idx, mask, rows, op: str):
+        """Sanitizer hook for a masked atomic RMW: strict-check, record,
+        and return *mask* with memcheck-faulting lanes cleared."""
+        s = self.sanitizer
+        if s is None or not s.memcheck:
+            self._strict_check(darr, idx[mask], op)
+        if s is None:
+            return mask
+        rloc, cloc = np.nonzero(mask)
+        if rloc.size == 0:
+            return mask
+        keep = s.access(
+            darr, idx[mask], np.asarray(rows)[rloc], cloc,
+            write=True, atomic=True, op=op,
+        )
+        if keep is None or keep.all():
+            return mask
+        mask = mask.copy()
+        mask[rloc[~keep], cloc[~keep]] = False
+        return mask
 
     def atomic_cas(
         self,
@@ -488,6 +660,10 @@ class WarpBatch:
             self.counters.shuffle_inst[rows] += 1
             self.counters.sync_inst[rows] += 1
         flat = darr.data.reshape(-1)
+        narrowed = self._sanitize_rmw(darr, idx, mask, rows, "atomic_cas")
+        if narrowed is not mask:
+            mask = narrowed
+            act = mask.sum(axis=1)  # memcheck suppressed faulting lanes
         rloc, _ = np.nonzero(mask)  # row-major: ascending lane within a row
         ai = idx[mask].astype(np.int64)
         av = value[mask]
@@ -525,6 +701,8 @@ class WarpBatch:
             self.counters.atomic_transactions[rows] += self._sorted_transactions(
                 darr, s_keys, len(rows)
             )
+        if fuse_shfl_sync and self.sanitizer is not None:
+            self.sanitizer.warp_sync_rows(rows)
         out = np.zeros(mask.shape, dtype=darr.data.dtype)
         out[mask] = old_flat
         return out
@@ -535,6 +713,7 @@ class WarpBatch:
         self._issue(rows, 1, mask.sum(axis=1))
         self.counters.atomic_inst[rows] += 1
         flat = darr.data.reshape(-1)
+        mask = self._sanitize_rmw(darr, idx, mask, rows, "atomic_add")
         rloc, _ = np.nonzero(mask)
         ai = idx[mask]
         if np.ndim(value) == 0 and ai.size:

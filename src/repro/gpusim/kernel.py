@@ -100,6 +100,8 @@ class GpuContext:
     workers: int = 1
     engine_mode: str = field(default="auto", init=False)
     engine: str = "auto"
+    sanitize: str = "off"
+    sanitizer: "object" = field(default=None, init=False, repr=False)
     _engine: "object" = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -114,12 +116,27 @@ class GpuContext:
             if self.engine == "auto"
             else self.engine
         )
+        if self.sanitize != "off":
+            from repro.sanitize import SANITIZE_MODES, Sanitizer
+
+            if self.sanitize not in SANITIZE_MODES:
+                raise ValueError(
+                    f"sanitize must be one of {SANITIZE_MODES}, "
+                    f"got {self.sanitize!r}"
+                )
+            self.sanitizer = Sanitizer(self.sanitize)
         if self.allocator is None:
-            # Only the process pool needs shared-memory-backed arrays.
+            # Only the process pool needs shared-memory-backed arrays; a
+            # sanitized context never uses the pool (see _parallel), so it
+            # never needs shared segments either.
             self.allocator = DeviceAllocator(
                 self.device.global_mem_bytes,
-                shared=self.engine_mode == "pool" and self.workers > 1,
+                shared=self.engine_mode == "pool"
+                and self.workers > 1
+                and self.sanitizer is None,
             )
+        if self.sanitizer is not None:
+            self.allocator.sanitizer = self.sanitizer
         if self.timing_model is None:
             self.timing_model = TimingModel(self.device)
 
@@ -145,14 +162,32 @@ class GpuContext:
         self.transfer_time_s += self.timing_model.transfer_time(darr.nbytes)
         return darr.data.copy()
 
+    def mark_initialized(self, darr: DeviceArray) -> None:
+        """Declare *darr* host-initialised (a NumPy-side memset) so
+        initcheck does not flag reads of it.  No-op without a sanitizer."""
+        if self.sanitizer is not None:
+            self.sanitizer.mark_initialized(darr)
+
+    def sanitizer_report(self):
+        """The accumulated :class:`~repro.sanitize.SanitizerReport`, or
+        None when the context runs with ``sanitize="off"``."""
+        return None if self.sanitizer is None else self.sanitizer.report()
+
     # -- launching ----------------------------------------------------------------
 
     def _parallel(self, n_warps: int) -> bool:
-        """Use the pool?  Needs pool mode, >1 workers/warps, shared buffers."""
+        """Use the pool?  Needs pool mode, >1 workers/warps, shared buffers.
+
+        Sanitized launches never use the pool: the shadow state cannot be
+        shared across processes, so a sanitizer serialises pool-mode
+        execution in-process (the same slowdown-for-visibility trade
+        compute-sanitizer makes on real hardware).
+        """
         return (
             self.engine_mode == "pool"
             and self.workers > 1
             and n_warps > 1
+            and self.sanitizer is None
             and getattr(self.allocator, "shared", False)
         )
 
@@ -169,15 +204,30 @@ class GpuContext:
         counters = KernelCounters()
         counters.n_warps_launched = n_warps
         per_warp: list[int] = []
+        if self.sanitizer is not None:
+            self.sanitizer.begin_launch(
+                kernel_version or name, bin_name, n_warps
+            )
         batched = None
         if self.engine_mode == "batched" and n_warps > 0:
             from repro.gpusim.batched import batched_impl
 
             batched = batched_impl(kernel_fn)
         if batched is not None:
-            counters, per_warp = batched(
-                n_warps, self.device.sector_bytes, *args
-            )
+            if self.sanitizer is not None:
+                from repro.gpusim.batched import set_active_sanitizer
+
+                set_active_sanitizer(self.sanitizer)
+                try:
+                    counters, per_warp = batched(
+                        n_warps, self.device.sector_bytes, *args
+                    )
+                finally:
+                    set_active_sanitizer(None)
+            else:
+                counters, per_warp = batched(
+                    n_warps, self.device.sector_bytes, *args
+                )
             counters.n_warps_launched = n_warps
         elif self._parallel(n_warps):
             for shard_counters, shard_per_warp in self.warp_engine.run(
@@ -189,7 +239,10 @@ class GpuContext:
             for warp_id in range(n_warps):
                 before = counters.warp_inst
                 warp = Warp(
-                    counters, warp_id=warp_id, sector_bytes=self.device.sector_bytes
+                    counters,
+                    warp_id=warp_id,
+                    sector_bytes=self.device.sector_bytes,
+                    sanitizer=self.sanitizer,
                 )
                 kernel_fn(warp, warp_id, *args)
                 per_warp.append(counters.warp_inst - before)

@@ -22,11 +22,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DeviceArray", "DeviceAllocator", "DeviceOutOfMemory", "count_sectors"]
+__all__ = [
+    "DeviceArray",
+    "DeviceAllocator",
+    "DeviceFreeError",
+    "DeviceOutOfMemory",
+    "count_sectors",
+]
 
 
 class DeviceOutOfMemory(MemoryError):
     """Raised when an allocation would exceed the device's global memory."""
+
+
+class DeviceFreeError(ValueError):
+    """Raised on double-free or freeing an array this allocator never made."""
 
 
 @dataclass
@@ -35,6 +45,10 @@ class DeviceArray:
 
     data: np.ndarray
     base_addr: int
+    #: set by the owning allocator on free()/reset(); a freed handle is
+    #: poison — kernels touching it trip memcheck (use-after-free) or the
+    #: always-on strict checks in Warp.global_load/global_store.
+    freed: bool = False
 
     @property
     def itemsize(self) -> int:
@@ -81,6 +95,10 @@ class DeviceAllocator:
         self.high_water_bytes = 0
         self._next_addr = 0
         self.n_allocs = 0
+        #: live allocations by base address (ownership map for free()).
+        self._live: dict[int, DeviceArray] = {}
+        #: optional repro.sanitize.Sanitizer receiving alloc/free events.
+        self.sanitizer = None
         self._segments: list = []
         if self.shared:
             import weakref
@@ -114,7 +132,11 @@ class DeviceAllocator:
         self.bytes_in_use += padded
         self.high_water_bytes = max(self.high_water_bytes, self.bytes_in_use)
         self.n_allocs += 1
-        return DeviceArray(arr, base)
+        darr = DeviceArray(arr, base)
+        self._live[base] = darr
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc(darr)
+        return darr
 
     def host_array(self, shape, dtype) -> np.ndarray:
         """A host-side scratch array workers can also mutate.
@@ -131,12 +153,34 @@ class DeviceAllocator:
         """Copy a host array to the device (counts toward capacity)."""
         darr = self.alloc(host_array.shape, host_array.dtype)
         darr.data[...] = host_array
+        if self.sanitizer is not None:
+            # host->device copy initialises every byte of the allocation
+            self.sanitizer.mark_initialized(darr)
         return darr
 
     def free(self, darr: DeviceArray) -> None:
-        """Release an allocation's capacity."""
+        """Release an allocation's capacity.
+
+        Raises :class:`DeviceFreeError` on double-free or on a handle this
+        allocator does not own (never allocated here, or already swept by
+        ``reset``).
+        """
+        if darr.freed:
+            raise DeviceFreeError(
+                f"double free of device array at 0x{darr.base_addr:x} "
+                f"({darr.nbytes} bytes)"
+            )
+        if self._live.get(darr.base_addr) is not darr:
+            raise DeviceFreeError(
+                f"free of device array at 0x{darr.base_addr:x} that this "
+                f"allocator does not own"
+            )
         padded = (darr.nbytes + self.ALIGN - 1) // self.ALIGN * self.ALIGN
         self.bytes_in_use = max(0, self.bytes_in_use - padded)
+        darr.freed = True
+        del self._live[darr.base_addr]
+        if self.sanitizer is not None:
+            self.sanitizer.on_free(darr)
         if self.shared and getattr(darr.data, "_shm_root", False):
             darr.data.unlink()
             try:
@@ -145,8 +189,19 @@ class DeviceAllocator:
                 pass
 
     def reset(self) -> None:
-        """Free everything (between kernel batches)."""
+        """Free everything (between kernel batches).
+
+        Outstanding :class:`DeviceArray` handles are invalidated (marked
+        ``freed``), so a kernel that keeps using one after the batch is
+        recycled trips memcheck as use-after-free instead of silently
+        reading stale memory.
+        """
         self.bytes_in_use = 0
+        for darr in self._live.values():
+            darr.freed = True
+        self._live.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.on_reset()
         self.release_shared()
 
     def release_shared(self) -> None:

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import WARP_SIZE
-from repro.gpusim.memory import DeviceArray, count_sectors
+from repro.gpusim.memory import DeviceArray, DeviceFreeError, count_sectors
 
 __all__ = ["Warp"]
 
@@ -58,16 +58,29 @@ def _as_lane_array(value, dtype=np.int64) -> np.ndarray:
 class Warp:
     """One simulated warp (32 lanes, lockstep, maskable)."""
 
-    __slots__ = ("counters", "sector_bytes", "mask", "_mask_stack", "warp_id")
+    __slots__ = (
+        "counters",
+        "sector_bytes",
+        "mask",
+        "_mask_stack",
+        "warp_id",
+        "sanitizer",
+    )
 
     def __init__(
-        self, counters: KernelCounters, warp_id: int = 0, sector_bytes: int = 32
+        self,
+        counters: KernelCounters,
+        warp_id: int = 0,
+        sector_bytes: int = 32,
+        sanitizer=None,
     ) -> None:
         self.counters = counters
         self.sector_bytes = sector_bytes
         self.warp_id = warp_id
         self.mask = np.ones(WARP_SIZE, dtype=bool)
         self._mask_stack: list[np.ndarray] = []
+        #: optional repro.sanitize.Sanitizer observing memory traffic.
+        self.sanitizer = sanitizer
 
     # -- mask management ------------------------------------------------------
 
@@ -137,6 +150,36 @@ class Warp:
 
     # -- global memory ----------------------------------------------------------
 
+    def _strict_check(self, darr: DeviceArray, idx_act: np.ndarray, op: str) -> None:
+        """Always-on validation: raise instead of letting NumPy wrap a
+        negative index or fault on an over-large one (satellite of the
+        sanitizer work — kernels get a clear error even with checks off)."""
+        if darr.freed:
+            raise DeviceFreeError(
+                f"{op} on freed device array at 0x{darr.base_addr:x}"
+            )
+        if idx_act.size:
+            n = darr.data.size
+            bad = (idx_act < 0) | (idx_act >= n)
+            if bad.any():
+                raise IndexError(
+                    f"{op} index {int(idx_act[bad][0])} out of bounds for "
+                    f"device array of {n} elements"
+                )
+
+    def _strict_span_check(
+        self, darr: DeviceArray, start: int, length: int, op: str
+    ) -> None:
+        if darr.freed:
+            raise DeviceFreeError(
+                f"{op} on freed device array at 0x{darr.base_addr:x}"
+            )
+        if start < 0 or start + length > darr.data.size:
+            raise IndexError(
+                f"{op} span [{start}, {start + length}) out of bounds for "
+                f"device array of {darr.data.size} elements"
+            )
+
     def global_load(self, darr: DeviceArray, idx) -> np.ndarray:
         """Gather ``darr[idx]`` for active lanes; one LDG instruction.
 
@@ -147,12 +190,23 @@ class Warp:
         self.counters.global_ld_inst += 1
         out = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
         if self.any_active:
-            act = self.mask
-            flat = darr.data.reshape(-1)
-            out[act] = flat[idx[act]]
-            self.counters.global_ld_transactions += count_sectors(
-                darr.addresses(idx[act]), darr.itemsize, self.sector_bytes
-            )
+            act_idx = np.nonzero(self.mask)[0]
+            s = self.sanitizer
+            if s is None or not s.memcheck:
+                self._strict_check(darr, idx[act_idx], "global_load")
+            if s is not None:
+                keep = s.access(
+                    darr, idx[act_idx], self.warp_id, act_idx,
+                    write=False, op="global_load",
+                )
+                if keep is not None:
+                    act_idx = act_idx[keep]  # faulting lanes suppressed
+            if act_idx.size:
+                flat = darr.data.reshape(-1)
+                out[act_idx] = flat[idx[act_idx]]
+                self.counters.global_ld_transactions += count_sectors(
+                    darr.addresses(idx[act_idx]), darr.itemsize, self.sector_bytes
+                )
         return out
 
     def _bulk_issue(self, n_inst: int, n_active_slots: int) -> None:
@@ -187,6 +241,15 @@ class Warp:
         n_inst = (length + WARP_SIZE - 1) // WARP_SIZE
         self._bulk_issue(n_inst, length)
         self.counters.global_ld_inst += n_inst
+        s = self.sanitizer
+        if s is None or not s.memcheck:
+            self._strict_span_check(darr, int(start), length, "global_load_span")
+        if s is not None and not s.span(
+            darr, int(start), length, self.warp_id, write=False,
+            op="global_load_span",
+        ):
+            # memcheck suppressed the faulting span; return zero fill
+            return np.zeros(length, dtype=darr.data.dtype)
         self.counters.global_ld_transactions += self._span_sectors(darr, start, length)
         return darr.data.reshape(-1)[start : start + length]
 
@@ -202,6 +265,14 @@ class Warp:
         n_inst = (length + WARP_SIZE - 1) // WARP_SIZE
         self._bulk_issue(n_inst, length)
         self.counters.global_st_inst += n_inst
+        s = self.sanitizer
+        if s is None or not s.memcheck:
+            self._strict_span_check(darr, int(start), length, "global_store_span")
+        if s is not None and not s.span(
+            darr, int(start), length, self.warp_id, write=True,
+            op="global_store_span",
+        ):
+            return  # memcheck suppressed the faulting span
         self.counters.global_st_transactions += self._span_sectors(darr, start, length)
         darr.data.reshape(-1)[start : start + length] = value
 
@@ -234,6 +305,17 @@ class Warp:
         starts = np.asarray(starts, dtype=np.int64)
         act = starts[self.mask[: starts.size]] if starts.size == WARP_SIZE else starts
         if act.size:
+            s = self.sanitizer
+            if s is not None:
+                lanes = (
+                    np.nonzero(self.mask)[0]
+                    if starts.size == WARP_SIZE
+                    else np.arange(act.size)
+                )
+                s.byte_gather(
+                    darr, act, nbytes, self.warp_id, lanes,
+                    op="global_gather_span",
+                )
             addrs = darr.base_addr + act
             if word_bytes <= self.sector_bytes:
                 # All words at once: a word spans at most two sectors, so
@@ -264,12 +346,23 @@ class Warp:
         self._issue()
         self.counters.global_st_inst += 1
         if self.any_active:
-            act = self.mask
-            flat = darr.data.reshape(-1)
-            flat[idx[act]] = values[act]
-            self.counters.global_st_transactions += count_sectors(
-                darr.addresses(idx[act]), darr.itemsize, self.sector_bytes
-            )
+            act_idx = np.nonzero(self.mask)[0]
+            s = self.sanitizer
+            if s is None or not s.memcheck:
+                self._strict_check(darr, idx[act_idx], "global_store")
+            if s is not None:
+                keep = s.access(
+                    darr, idx[act_idx], self.warp_id, act_idx,
+                    write=True, op="global_store",
+                )
+                if keep is not None:
+                    act_idx = act_idx[keep]  # faulting lanes suppressed
+            if act_idx.size:
+                flat = darr.data.reshape(-1)
+                flat[idx[act_idx]] = values[act_idx]
+                self.counters.global_st_transactions += count_sectors(
+                    darr.addresses(idx[act_idx]), darr.itemsize, self.sector_bytes
+                )
 
     # -- local (per-thread private) memory ---------------------------------------
 
@@ -291,7 +384,7 @@ class Warp:
         self.counters.local_transactions += n * max(1, self.active_count // 4)
 
     def account_bulk_store(
-        self, n_inst: int, active_slots: int, transactions: int
+        self, n_inst: int, active_slots: int, transactions: int, regions=None
     ) -> None:
         """Modelling hook: account a lockstep bulk store phase.
 
@@ -299,11 +392,20 @@ class Warp:
         (e.g. the thread-per-table v1 kernel, where each lane memsets its
         own hash-table region): the caller performs the data movement with
         NumPy and supplies the issue/transaction totals it derived from
-        the region sizes.
+        the region sizes.  *regions* optionally declares the stored spans
+        as ``(darr, start, length)`` tuples so the sanitizers see the
+        writes the caller did on the host side.
         """
         self._bulk_issue(n_inst, active_slots)
         self.counters.global_st_inst += n_inst
         self.counters.global_st_transactions += transactions
+        s = self.sanitizer
+        if s is not None and regions:
+            for darr, start, length in regions:
+                s.span(
+                    darr, int(start), int(length), self.warp_id, write=True,
+                    op="account_bulk_store",
+                )
 
     # -- atomics -------------------------------------------------------------------
     #
@@ -329,6 +431,26 @@ class Warp:
         )
         return act, counts[inv] > 1, uniq.size
 
+    def _sanitize_rmw(self, darr: DeviceArray, idx: np.ndarray, op: str):
+        """Sanitizer hook for an atomic read-modify-write.  May narrow the
+        mask to suppress memcheck-faulting lanes; returns the previous mask
+        to restore (or None if nothing changed)."""
+        s = self.sanitizer
+        if s is None or not self.any_active:
+            return None
+        act_idx = np.nonzero(self.mask)[0]
+        keep = s.access(
+            darr, idx[act_idx], self.warp_id, act_idx,
+            write=True, atomic=True, op=op,
+        )
+        if keep is None or keep.all():
+            return None
+        prev = self.mask
+        narrowed = prev.copy()
+        narrowed[act_idx[~keep]] = False
+        self.mask = narrowed
+        return prev
+
     def atomic_cas(self, darr: DeviceArray, idx, compare, value) -> np.ndarray:
         """``atomicCAS`` per active lane, applied in ascending lane order.
 
@@ -341,6 +463,7 @@ class Warp:
         value = _as_lane_array(value, dtype=darr.data.dtype)
         self._issue()
         self.counters.atomic_inst += 1
+        prev_mask = self._sanitize_rmw(darr, idx, "atomic_cas")
         old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
         if self.any_active:
             flat = darr.data.reshape(-1)
@@ -365,6 +488,8 @@ class Warp:
                 self.counters.labels["atomic_conflicts"] = (
                     self.counters.labels.get("atomic_conflicts", 0) + conflicts
                 )
+        if prev_mask is not None:
+            self.mask = prev_mask
         return old
 
     def atomic_add(self, darr: DeviceArray, idx, value) -> np.ndarray:
@@ -373,6 +498,7 @@ class Warp:
         value = _as_lane_array(value, dtype=darr.data.dtype)
         self._issue()
         self.counters.atomic_inst += 1
+        prev_mask = self._sanitize_rmw(darr, idx, "atomic_add")
         old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
         if self.any_active:
             flat = darr.data.reshape(-1)
@@ -400,6 +526,8 @@ class Warp:
             self.counters.atomic_transactions += count_sectors(
                 darr.addresses(idx[self.mask]), darr.itemsize, self.sector_bytes
             )
+        if prev_mask is not None:
+            self.mask = prev_mask
         return old
 
     def atomic_max(self, darr: DeviceArray, idx, value) -> np.ndarray:
@@ -408,6 +536,7 @@ class Warp:
         value = _as_lane_array(value, dtype=darr.data.dtype)
         self._issue()
         self.counters.atomic_inst += 1
+        prev_mask = self._sanitize_rmw(darr, idx, "atomic_max")
         old = np.zeros(WARP_SIZE, dtype=darr.data.dtype)
         if self.any_active:
             flat = darr.data.reshape(-1)
@@ -425,6 +554,8 @@ class Warp:
             self.counters.atomic_transactions += count_sectors(
                 darr.addresses(idx[self.mask]), darr.itemsize, self.sector_bytes
             )
+        if prev_mask is not None:
+            self.mask = prev_mask
         return old
 
     # -- warp intrinsics --------------------------------------------------------------
@@ -469,6 +600,12 @@ class Warp:
         return out
 
     def sync(self) -> None:
-        """``__syncwarp`` over the current mask."""
+        """``__syncwarp`` over the current mask.
+
+        A sync point orders the warp's prior accesses: racecheck stops
+        pairing writes from before the sync with accesses after it.
+        """
         self._issue()
         self.counters.sync_inst += 1
+        if self.sanitizer is not None:
+            self.sanitizer.warp_sync(self.warp_id)

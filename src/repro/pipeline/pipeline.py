@@ -57,6 +57,9 @@ class PipelineConfig:
     local_assembly_workers: int = 1
     #: warp execution engine ("auto" | "sequential" | "pool" | "batched")
     local_assembly_engine: str = "auto"
+    #: dynamic checker mode ("off" | "memcheck" | "racecheck" |
+    #: "initcheck" | "full") for the GPU local-assembly stage
+    local_assembly_sanitize: str = "off"
     # scaffolding
     insert_mean: float = 350.0
     #: estimate the insert size from same-contig pairs (MHM2 behaviour);
@@ -77,6 +80,12 @@ class PipelineConfig:
         if self.local_assembly_engine not in ENGINE_MODES:
             raise ValueError(
                 f"local_assembly_engine must be one of {ENGINE_MODES}"
+            )
+        from repro.sanitize import SANITIZE_MODES
+
+        if self.local_assembly_sanitize not in SANITIZE_MODES:
+            raise ValueError(
+                f"local_assembly_sanitize must be one of {SANITIZE_MODES}"
             )
 
 
@@ -198,6 +207,7 @@ def run_pipeline(
             kernel_version=config.gpu_kernel_version,
             workers=config.local_assembly_workers,
             engine=config.local_assembly_engine,
+            sanitize=config.local_assembly_sanitize,
         )
 
     scaffolds: ScaffoldingResult | None = None

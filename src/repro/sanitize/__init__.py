@@ -1,0 +1,32 @@
+"""Compute-sanitizer-style dynamic checkers and static kernel lint.
+
+Dynamic side (:class:`Sanitizer`): memcheck (out-of-bounds /
+use-after-free), racecheck (conflicting non-atomic lane accesses between
+sync points) and initcheck (reads of never-written device elements),
+instrumenting the `gpusim` interpreter through hooks in
+:class:`~repro.gpusim.warp.Warp`, :class:`~repro.gpusim.batched.WarpBatch`
+and :class:`~repro.gpusim.memory.DeviceAllocator`.
+
+Static side (:func:`lint_paths`): AST hygiene rules over kernel source —
+twin signature/counter parity, banned impure calls, discarded atomics.
+"""
+
+from repro.sanitize.lint import LintFinding, lint_files, lint_paths
+from repro.sanitize.report import (
+    MAX_ERRORS,
+    SANITIZE_MODES,
+    SanitizerError,
+    SanitizerReport,
+)
+from repro.sanitize.sanitizer import Sanitizer
+
+__all__ = [
+    "MAX_ERRORS",
+    "SANITIZE_MODES",
+    "LintFinding",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerReport",
+    "lint_files",
+    "lint_paths",
+]
