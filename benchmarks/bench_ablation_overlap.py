@@ -1,17 +1,41 @@
-"""Ablation — the §4.3 driver ordering: bin-3-first with CPU overlap.
+"""Ablation — the double-buffered overlapping driver vs. the serial one.
 
-The paper launches bin 3 on the GPU first (inside a separate thread) so
-the CPU can chew on bin 2 meanwhile; when the GPU returns, whatever of
-bin 2 remains is offloaded.  We model the wall time of both orderings:
+Earlier revisions *modelled* the §4.3 overlap benefit with closed-form
+arithmetic; the driver now actually runs both ways, so this bench measures
+it on the real stream timelines:
 
-* **bin3-first + overlap**: wall = T3_gpu + leftover_frac * T2_gpu where
-  leftover_frac = max(0, 1 - T3_gpu / T2_cpu);
-* **bin2-first, no overlap**: wall = T2_gpu + T3_gpu.
+* ``overlap=off`` — every op (staging, H2D, kernel, D2H, unpack) is
+  chained on the serialised timeline; the critical path is the serial sum.
+* ``overlap=on`` — the stager thread packs batch N+1 while the engine
+  executes batch N; copies ride the copy streams, kernels the compute
+  stream, and the critical path is the pipeline's makespan.
 
-T2_cpu is the CPU-side cost of bin 2, taken as cpu_gpu_ratio x T2_gpu
-(the paper's small-scale local-assembly speedup, ~4.3x).
+Two quantities per configuration, deliberately kept apart:
+
+* **wall clock** — host seconds to run the simulator.  The kernel
+  *simulation* dominates wall time (it is Python/NumPy, thousands of times
+  slower than the modelled V100), and on a 1-core box threads cannot add
+  wall-clock speed, so this column is honest context, not the headline.
+* **critical path** — the measured makespan over the stream timelines:
+  modelled device ops + thread-CPU-measured host ops, placed by their
+  dependencies.  This is the quantity a real overlapped driver improves,
+  and the acceptance gate (>= 1.15x on the 100-warp reference workload).
+
+Results land in ``benchmarks/results/``: ``overlap.txt`` (table),
+``BENCH_overlap.json`` (machine-readable), ``overlap_trace.json`` (the
+chrome://tracing timeline of the best overlapped run — load it at
+chrome://tracing or https://ui.perfetto.dev).
 """
 
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from bench_engine_scaling import _uniform_workload
 from conftest import record
 
 from repro.analysis.reporting import format_table
@@ -19,35 +43,157 @@ from repro.core.config import LocalAssemblyConfig
 from repro.core.driver import GpuLocalAssembler
 
 CFG = LocalAssemblyConfig(k_init=21, max_walk_len=150)
-CPU_GPU_RATIO = 4.3
+RESULTS_DIR = Path(__file__).parent / "results"
+PREFETCH_SWEEP = (1, 2, 3, 4)
+MIN_SPEEDUP = 1.15  # acceptance gate on the reference workload
 
 
-def bench_ablation_overlap(benchmark, driver_workload):
+def _cpu_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run(tasks, overlap: str, prefetch: int = 1):
+    gc.collect()
+    t0 = time.perf_counter()
+    report = GpuLocalAssembler(
+        CFG, engine="batched", overlap=overlap, prefetch=prefetch
+    ).run(tasks)
+    wall = time.perf_counter() - t0
+    return report, wall
+
+
+def _sweep(tasks):
+    """Serial baseline + the overlapped driver at each prefetch depth."""
+    _run(tasks, "off")  # warmup (imports, allocator, caches)
+    base, base_wall = _run(tasks, "off")
+    rows = [("off", 0, base, base_wall)]
+    for depth in PREFETCH_SWEEP:
+        report, wall = _run(tasks, "on", depth)
+        rows.append(("on", depth, report, wall))
+    return base, base_wall, rows
+
+
+def _entries(base, base_wall, rows):
+    out = []
+    for overlap, depth, report, wall in rows:
+        out.append(
+            {
+                "overlap": overlap,
+                "prefetch": depth,
+                "n_batches": report.n_batches,
+                "wall_s": wall,
+                "wall_clock_speedup": base_wall / wall if wall else 0.0,
+                "critical_path_s": report.critical_path_s,
+                "critical_path_speedup": (
+                    base.critical_path_s / report.critical_path_s
+                    if report.critical_path_s
+                    else 0.0
+                ),
+                "modelled_serial_s": report.total_time_s,
+                "host_lane_s": report.host_lane_time_s(),
+                "h2d_bytes": report.h2d_bytes,
+                "d2h_bytes": report.d2h_bytes,
+                "bit_identical_to_serial": report.extensions == base.extensions,
+            }
+        )
+    return out
+
+
+def _table(title, entries):
+    return format_table(
+        ["overlap", "prefetch", "batches", "wall (s)", "crit path (ms)",
+         "cp speedup", "identical"],
+        [
+            (
+                e["overlap"], str(e["prefetch"]) if e["overlap"] == "on" else "-",
+                str(e["n_batches"]), f"{e['wall_s']:.2f}",
+                f"{e['critical_path_s'] * 1e3:.3f}",
+                f"{e['critical_path_speedup']:.2f}x",
+                "yes" if e["bit_identical_to_serial"] else "NO",
+            )
+            for e in entries
+        ],
+        title,
+    )
+
+
+def bench_ablation_overlap(benchmark):
+    tasks = _uniform_workload(100)
+
+    base, base_wall, rows = benchmark.pedantic(
+        lambda: _sweep(tasks), rounds=1, iterations=1
+    )
+    entries = _entries(base, base_wall, rows)
+    overlapped = [e for e in entries if e["overlap"] == "on"]
+    best = max(overlapped, key=lambda e: e["critical_path_speedup"])
+
+    # keep the timeline of the best run for the trace artifact
+    best_report = next(
+        r for ov, d, r, _ in rows
+        if ov == "on" and d == best["prefetch"]
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    best_report.timeline.save_chrome_trace(RESULTS_DIR / "overlap_trace.json")
+
+    text = _table(
+        f"Ablation — overlapped driver (100 uniform warps, batched engine, "
+        f"{_cpu_cores()} core(s) available)",
+        entries,
+    )
+    record("overlap", text)
+
+    (RESULTS_DIR / "BENCH_overlap.json").write_text(
+        json.dumps(
+            {
+                "bench": "ablation_overlap",
+                "cpu_cores": _cpu_cores(),
+                "n_tasks": len(tasks),
+                "engine": "batched",
+                "reference": {
+                    "critical_path_speedup": best["critical_path_speedup"],
+                    "wall_clock_speedup": best["wall_clock_speedup"],
+                    "prefetch": best["prefetch"],
+                    "bit_identical": all(
+                        e["bit_identical_to_serial"] for e in entries
+                    ),
+                },
+                "results": entries,
+                "trace": "overlap_trace.json",
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert all(e["bit_identical_to_serial"] for e in entries)
+    assert best["critical_path_speedup"] >= MIN_SPEEDUP, (
+        f"overlapped critical path must beat serial by >= {MIN_SPEEDUP}x, "
+        f"got {best['critical_path_speedup']:.3f}x"
+    )
+
+
+def bench_overlap_mixed_workload(benchmark, driver_workload):
+    """The same ablation on the mixed (all-bins) driver workload — the
+    §3.1 shape where bin 2's transfers overlap bin 3's kernel tail."""
     tasks = driver_workload
 
-    report = benchmark.pedantic(
-        lambda: GpuLocalAssembler(CFG).run(tasks), rounds=1, iterations=1
+    base, base_wall, rows = benchmark.pedantic(
+        lambda: _sweep(tasks), rounds=1, iterations=1
     )
-    t3 = report.bin_kernel_time_s("bin3")
-    t2 = report.bin_kernel_time_s("bin2")
-    t2_cpu = CPU_GPU_RATIO * t2
+    entries = _entries(base, base_wall, rows)
 
-    leftover = max(0.0, 1.0 - t3 / t2_cpu) if t2_cpu > 0 else 0.0
-    wall_overlap = t3 + leftover * t2
-    wall_serial = t2 + t3
-
-    text = format_table(
-        ["ordering", "modelled wall (s)"],
-        [
-            ("bin3-first + CPU overlap (paper)", f"{wall_overlap:.3e}"),
-            ("bin2-first, serial", f"{wall_serial:.3e}"),
-            ("T3 gpu", f"{t3:.3e}"),
-            ("T2 gpu", f"{t2:.3e}"),
-            ("T2 cpu (modelled)", f"{t2_cpu:.3e}"),
-            ("overlap benefit", f"{100 * (1 - wall_overlap / wall_serial):.1f}%"),
-        ],
-        "Ablation — driver launch ordering (§4.3 overlap model)",
+    text = _table(
+        f"Ablation — overlapped driver (mixed workload, {len(tasks)} tasks, "
+        f"{_cpu_cores()} core(s) available)",
+        entries,
     )
-    record("ablation_overlap", text)
+    record("overlap_mixed", text)
 
-    assert wall_overlap <= wall_serial + 1e-12
+    assert all(e["bit_identical_to_serial"] for e in entries)
+    best = max(
+        e["critical_path_speedup"] for e in entries if e["overlap"] == "on"
+    )
+    assert best > 1.0, "overlap must shorten the mixed-workload critical path"

@@ -38,7 +38,7 @@ def _positive_int(text: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from repro.gpusim import ENGINE_MODES
+    from repro.gpusim import ENGINE_MODES, OVERLAP_MODES
     from repro.sanitize import SANITIZE_MODES
 
     parser = argparse.ArgumentParser(
@@ -72,11 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the simulated GPU's parallel "
                           "warp engine (gpu mode; 1 = sequential)")
     asm.add_argument("--engine", choices=ENGINE_MODES, default="auto",
-                     help="warp execution engine (gpu mode; 'batched' runs "
-                          "every warp of a launch in lockstep)")
+                     help="warp execution engine (gpu mode; 'auto' resolves to "
+                          "'batched' — the lockstep SoA engine; the process "
+                          "pool runs only on explicit request)")
     asm.add_argument("--sanitize", choices=SANITIZE_MODES, default="off",
                      help="dynamic kernel checkers (gpu mode; compute-"
                           "sanitizer analogue: memcheck/racecheck/initcheck)")
+    asm.add_argument("--overlap", choices=OVERLAP_MODES, default="off",
+                     help="double-buffered GPU driver (gpu mode): stage batch "
+                          "N+1 while batch N executes, overlap transfers with "
+                          "kernels on streams")
+    asm.add_argument("--prefetch", type=_positive_int, default=1,
+                     help="staging depth of the overlapped driver")
+    asm.add_argument("--streams", type=_positive_int, default=2,
+                     help="copy streams for the overlapped driver")
 
     st = sub.add_parser("stats", help="assembly statistics for FASTA files")
     st.add_argument("fastas", type=Path, nargs="+")
@@ -102,11 +111,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes for the parallel warp engine "
                          "(gpu mode; 1 = sequential)")
     la.add_argument("--engine", choices=ENGINE_MODES, default="auto",
-                    help="warp execution engine (gpu mode; 'batched' runs "
-                         "every warp of a launch in lockstep)")
+                    help="warp execution engine (gpu mode; 'auto' resolves to "
+                         "'batched' — the lockstep SoA engine; the process "
+                         "pool runs only on explicit request)")
     la.add_argument("--sanitize", choices=SANITIZE_MODES, default="off",
                     help="dynamic kernel checkers (gpu mode; compute-"
                          "sanitizer analogue: memcheck/racecheck/initcheck)")
+    la.add_argument("--overlap", choices=OVERLAP_MODES, default="off",
+                    help="double-buffered GPU driver: stage batch N+1 while "
+                         "batch N executes, overlap transfers with kernels")
+    la.add_argument("--prefetch", type=_positive_int, default=1,
+                    help="staging depth of the overlapped driver")
+    la.add_argument("--streams", type=_positive_int, default=2,
+                    help="copy streams for the overlapped driver")
+    la.add_argument("--trace", type=Path, default=None,
+                    help="write the run's stream timeline as a "
+                         "chrome://tracing / Perfetto JSON file")
 
     sc = sub.add_parser("scale", help="Summit-scale projections")
     sc.add_argument("--dataset", choices=["wa", "arcticsynth"], default="wa")
@@ -170,6 +190,9 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         local_assembly_workers=args.workers,
         local_assembly_engine=args.engine,
         local_assembly_sanitize=args.sanitize,
+        local_assembly_overlap=args.overlap,
+        local_assembly_prefetch=args.prefetch,
+        local_assembly_streams=args.streams,
         run_scaffolding=not args.no_scaffold,
     )
     args.out.mkdir(parents=True, exist_ok=True)
@@ -281,6 +304,9 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
         workers=args.workers,
         engine=args.engine,
         sanitize=args.sanitize,
+        overlap=args.overlap,
+        prefetch=args.prefetch,
+        streams=args.streams,
     )
     print(f"{report.n_extended} ends extended "
           f"(+{report.total_extension_bases} bp) in {report.wall_time_s:.2f} s wall")
@@ -290,9 +316,13 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
         print(f"kernel {args.kernel}: {c.warp_inst:,} warp inst, "
               f"{c.total_transactions:,} transactions, "
               f"{100*c.predication_ratio:.1f}% predicated")
-        print(f"modelled V100 time {g.total_time_s*1e3:.2f} ms, "
-              f"{g.n_batches} batch(es), "
+        print(f"modelled V100 time {g.total_time_s*1e3:.2f} ms serial, "
+              f"critical path {g.critical_path_s*1e3:.2f} ms "
+              f"(overlap {g.overlap}), {g.n_batches} batch(es), "
               f"{g.high_water_bytes/1e6:.1f} MB device high-water")
+        if args.trace is not None:
+            g.timeline.save_chrome_trace(args.trace)
+            print(f"stream timeline -> {args.trace}")
         if g.sanitizer is not None:
             print(g.sanitizer.summary())
             if not g.sanitizer.clean:

@@ -6,14 +6,31 @@ into flat device buffers, launching per-bin kernels (bin 3 — the few
 contigs with the most reads — first, so the GPU always has its largest
 work set available), and unpacking extension results.
 
+Two execution shapes share one codebase:
+
+* ``overlap="off"`` — the classic synchronous driver: stage, upload,
+  launch, copy back, one batch at a time.  Every op still lands on the
+  context's stream timeline, fully serialised, so the reported critical
+  path equals the serial sum.
+* ``overlap="on"`` — the §3.1 double-buffered pipeline: a stager thread
+  packs batch N+1 into host staging buffers (real NumPy work) while the
+  engine executes batch N; uploads ride copy streams, kernels ride the
+  compute stream, and events order them.  Bin 3 launches first and bin
+  2's transfers overlap bin 3's tail, exactly the prefetch/compute
+  overlap MHM2 uses.  The memory budget is split ``prefetch + 1`` ways
+  so the modelled double-residency is honest.
+
 Results are bit-identical to :func:`repro.core.cpu_local_assembly.
-run_local_assembly_cpu`; what differs is the *measured machine behaviour*
-(instructions, transactions, predication, modelled time) that the
-experiments consume.
+run_local_assembly_cpu` — and across ``overlap`` modes and engines; what
+differs is the *measured machine behaviour* (instructions, transactions,
+predication, modelled time, now including the stream-timeline critical
+path) that the experiments consume.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -26,12 +43,17 @@ from repro.core.extension_kernel import (
     extension_task_kernel_v2,
 )
 import repro.core.extension_kernel_batched  # noqa: F401  (registers the batched v2 impl)
-from repro.core.gpu_batch import TaskListView, pack_batch
+from repro.core.gpu_batch import TaskListView, free_batch, stage_batch, upload_batch
 from repro.core.ht_sizing import plan_batches
 from repro.core.tasks import TaskSet
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import V100, DeviceSpec
-from repro.gpusim.kernel import ENGINE_MODES, GpuContext, LaunchResult
+from repro.gpusim.kernel import (
+    ENGINE_MODES,
+    OVERLAP_MODES,
+    GpuContext,
+    LaunchResult,
+)
 from repro.sequence.dna import decode
 
 __all__ = ["GpuLocalAssemblyReport", "GpuLocalAssembler"]
@@ -40,6 +62,10 @@ _KERNELS = {
     "v1": extension_task_kernel_v1,
     "v2": extension_task_kernel_v2,
 }
+
+#: timeline lane names used by the driver.
+_STAGE_LANE = "host.stage"
+_DRIVE_LANE = "host.drive"
 
 
 @dataclass
@@ -52,7 +78,21 @@ class GpuLocalAssemblyReport:
     n_batches: int = 0
     transfer_time_s: float = 0.0
     transfer_bytes: int = 0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
     high_water_bytes: int = 0
+    #: effective overlap mode of the run ("on" / "off"; a sanitized run
+    #: serialises, so it reports "off" even when overlap was requested).
+    overlap: str = "off"
+    #: the measured critical path over the stream timelines: host staging
+    #: and unpacking (measured thread-CPU seconds) plus device transfers
+    #: and kernels (modelled V100 seconds), placed by their dependency
+    #: structure.  With ``overlap="off"`` this is the serial sum of every
+    #: op; with ``overlap="on"`` it is the pipeline's makespan.
+    critical_path_s: float = 0.0
+    #: the :class:`~repro.gpusim.streams.StreamTimeline` of the run —
+    #: call ``timeline.save_chrome_trace(path)`` for a profiler view.
+    timeline: "object" = field(default=None, repr=False)
     #: SanitizerReport when the run was sanitized, else None
     sanitizer: "object" = None
 
@@ -62,7 +102,11 @@ class GpuLocalAssemblyReport:
 
     @property
     def total_time_s(self) -> float:
-        """Modelled GPU-path time: transfers + kernels, no CPU overlap."""
+        """Serially-summed modelled GPU-op time: transfers + kernels.
+
+        Kept as the legacy scalar; :attr:`critical_path_s` is the
+        pipeline-aware quantity measured over the stream timelines.
+        """
         return self.kernel_time_s + self.transfer_time_s
 
     def bin_kernel_time_s(self, bin_name: str) -> float:
@@ -73,6 +117,14 @@ class GpuLocalAssemblyReport:
         not leak into ``bin3``'s total).
         """
         return sum(l.time_s for l in self.launches if l.bin == bin_name)
+
+    def host_lane_time_s(self) -> float:
+        """Total measured host work (staging + unpacking) on the timeline."""
+        if self.timeline is None:
+            return 0.0
+        return self.timeline.lane_busy_s(_STAGE_LANE) + self.timeline.lane_busy_s(
+            _DRIVE_LANE
+        )
 
     def merged_counters(self) -> KernelCounters:
         merged = KernelCounters()
@@ -98,21 +150,36 @@ class GpuLocalAssembler:
         or ``"v1"`` — the thread-per-table development baseline used for
         the §4.2 roofline comparison.
     workers:
-        Worker processes for the parallel warp-execution engine.  The
-        default ``1`` runs warps sequentially in-process; ``N > 1`` shards
-        each launch across ``N`` processes over shared-memory device
-        buffers (results are bit-identical either way).
+        Worker processes for the pool warp-execution engine (only used
+        when ``engine="pool"`` is explicitly requested).
     engine:
-        Warp execution mode: ``"auto"`` (pool when ``workers > 1``, else
-        sequential), ``"sequential"``, ``"pool"``, or ``"batched"`` — the
-        SoA engine that advances all warps of a launch in lockstep (v2
-        kernels only; v1 falls back to sequential interpretation).  All
-        modes are bit-identical.
+        Warp execution mode: ``"auto"`` (the batched SoA engine — it is
+        7-22x faster than sequential interpretation on every measured
+        workload, see BENCH_engine.json), ``"sequential"``, ``"pool"``
+        (explicit request only; loses to IPC overhead on small boxes) or
+        ``"batched"``.  v1 kernels have no batched twin and fall back to
+        sequential interpretation.  All modes are bit-identical.
     sanitize:
         Dynamic checker mode (``"off"``, ``"memcheck"``, ``"racecheck"``,
         ``"initcheck"`` or ``"full"``).  Anything but ``"off"`` attaches a
         :class:`~repro.sanitize.Sanitizer` to the context and stores its
-        report on :attr:`GpuLocalAssemblyReport.sanitizer`.
+        report on :attr:`GpuLocalAssemblyReport.sanitizer`.  A sanitized
+        run serialises the overlapped pipeline (shadow state is not
+        thread-safe) — the same slowdown-for-visibility trade the pool
+        engine already makes.
+    overlap:
+        ``"off"`` (default) — the synchronous driver; ``"on"`` — the
+        double-buffered pipeline: a stager thread packs batch N+1 while
+        the engine executes batch N, transfers overlap kernels on the
+        modelled stream timeline.  Extensions are bit-identical either
+        way.
+    prefetch:
+        Staging depth of the overlapped pipeline: how many batches the
+        stager may run ahead of the engine.  The device memory budget is
+        split ``prefetch + 1`` ways so the modelled residency is honest.
+    streams:
+        Number of copy streams batches round-robin across (the compute
+        stream is always one — one device).
     """
 
     def __init__(
@@ -123,6 +190,9 @@ class GpuLocalAssembler:
         workers: int = 1,
         engine: str = "auto",
         sanitize: str = "off",
+        overlap: str = "off",
+        prefetch: int = 1,
+        streams: int = 2,
     ) -> None:
         if kernel_version not in _KERNELS:
             raise ValueError(f"kernel_version must be one of {sorted(_KERNELS)}")
@@ -130,6 +200,12 @@ class GpuLocalAssembler:
             raise ValueError("workers must be >= 1")
         if engine not in ENGINE_MODES:
             raise ValueError(f"engine must be one of {ENGINE_MODES}")
+        if overlap not in OVERLAP_MODES:
+            raise ValueError(f"overlap must be one of {OVERLAP_MODES}")
+        if prefetch < 1:
+            raise ValueError("prefetch must be >= 1")
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
         from repro.sanitize import SANITIZE_MODES
 
         if sanitize not in SANITIZE_MODES:
@@ -140,12 +216,14 @@ class GpuLocalAssembler:
         self.workers = workers
         self.engine = engine
         self.sanitize = sanitize
+        self.overlap = overlap
+        self.prefetch = prefetch
+        self.streams = streams
 
     def run(self, tasks: TaskSet) -> GpuLocalAssemblyReport:
         """Extend every task; returns the report with all measurements."""
         cfg = self.config
         bins = bin_contigs(tasks, cfg)
-        kernel = _KERNELS[self.kernel_version]
         extensions: dict[tuple[int, int], str] = {}
 
         tasks_by_cid: dict[int, list[int]] = defaultdict(list)
@@ -157,55 +235,205 @@ class GpuLocalAssembler:
             for i in tasks_by_cid[cid]:
                 extensions[(tasks[i].cid, tasks[i].side)] = ""
 
+        # The sanitizer's shadow state is single-threaded: serialise.
+        overlap_on = self.overlap == "on" and self.sanitize == "off"
         ctx = GpuContext(
             device=self.device,
             workers=self.workers,
             engine=self.engine,
             sanitize=self.sanitize,
+            overlap="on" if overlap_on else "off",
+            n_streams=self.streams,
         )
-        report = GpuLocalAssemblyReport(extensions=extensions, bins=bins)
+        report = GpuLocalAssemblyReport(
+            extensions=extensions,
+            bins=bins,
+            overlap="on" if overlap_on else "off",
+        )
 
         try:
-            # Bin 3 first (§4.3): the GPU fares best with the most work.
-            for bin_name, cids in (("bin3", bins.bin3), ("bin2", bins.bin2)):
-                bin_tasks = [tasks[i] for cid in cids for i in tasks_by_cid[cid]]
-                if not bin_tasks:
-                    continue
-                for batch_ids in plan_batches(
-                    TaskListView(bin_tasks), self.device.global_mem_bytes
-                ):
-                    batch_tasks = [bin_tasks[i] for i in batch_ids]
-                    ctx.allocator.reset()
-                    batch = pack_batch(ctx, batch_tasks, cfg)
-                    init_len = batch.seq_len.copy()
-                    # v2: one warp per task; v1 (thread-per-table): one warp
-                    # carries 32 tasks, one per lane.
-                    if self.kernel_version == "v1":
-                        n_warps = (len(batch_tasks) + 31) // 32
-                    else:
-                        n_warps = len(batch_tasks)
-                    ctx.launch(
-                        f"extension_{bin_name}_{self.kernel_version}",
-                        kernel,
-                        n_warps,
-                        batch,
-                        np.arange(len(batch_tasks)),
-                        bin_name=bin_name,
-                        kernel_version=self.kernel_version,
-                    )
-                    seq_host = ctx.from_device(batch.seq_buf)
-                    ctx.from_device(batch.out_ext_len)
-                    for j, task in enumerate(batch_tasks):
-                        so = int(batch.seq_offsets[j])
-                        ext_codes = seq_host[so + int(init_len[j]) : so + int(batch.seq_len[j])]
-                        extensions[(task.cid, task.side)] = decode(ext_codes)
-                    report.n_batches += 1
+            work = self._plan_work(tasks, bins, tasks_by_cid, overlap_on)
+            if overlap_on:
+                self._run_overlapped(ctx, work, extensions, report)
+            else:
+                self._run_serial(ctx, work, extensions, report)
 
             report.launches = list(ctx.launches)
             report.transfer_time_s = ctx.transfer_time_s
             report.transfer_bytes = ctx.transfer_bytes
+            report.h2d_bytes = ctx.h2d_bytes
+            report.d2h_bytes = ctx.d2h_bytes
             report.high_water_bytes = ctx.allocator.high_water_bytes
+            report.critical_path_s = ctx.synchronize()
+            report.timeline = ctx.timeline
             report.sanitizer = ctx.sanitizer_report()
         finally:
             ctx.close()
         return report
+
+    # -- batch planning ----------------------------------------------------------
+
+    def _plan_work(
+        self, tasks, bins, tasks_by_cid, overlap_on: bool
+    ) -> list[tuple[str, list, str]]:
+        """The launch schedule: ``(bin_name, batch_tasks, label)`` rows,
+        bin 3 first (§4.3: the GPU fares best with the most work).
+
+        The overlapped pipeline needs at least two batches in flight to
+        hide anything, and at most ``prefetch + 1`` of them resident on
+        the device — so the memory budget is split that many ways, and a
+        bin whose whole task list fits one batch is split evenly instead.
+        """
+        budget = self.device.global_mem_bytes
+        parts = self.prefetch + 1
+        if overlap_on:
+            budget //= parts
+        work: list[tuple[str, list, str]] = []
+        for bin_name, cids in (("bin3", bins.bin3), ("bin2", bins.bin2)):
+            bin_tasks = [tasks[i] for cid in cids for i in tasks_by_cid[cid]]
+            if not bin_tasks:
+                continue
+            planned = plan_batches(TaskListView(bin_tasks), budget)
+            if overlap_on and len(planned) == 1 and len(planned[0]) > 1:
+                planned = _split_even(planned[0], parts)
+            for k, batch_ids in enumerate(planned):
+                work.append(
+                    (bin_name, [bin_tasks[i] for i in batch_ids], f"{bin_name}.{k}")
+                )
+        return work
+
+    def _n_warps(self, n_tasks: int) -> int:
+        # v2: one warp per task; v1 (thread-per-table): one warp carries
+        # 32 tasks, one per lane.
+        if self.kernel_version == "v1":
+            return (n_tasks + 31) // 32
+        return n_tasks
+
+    # -- synchronous driver ------------------------------------------------------
+
+    def _run_serial(self, ctx: GpuContext, work, extensions, report) -> None:
+        """Stage, upload, launch, unpack — one batch at a time.
+
+        Ops still land on the (serialised) timeline, so the critical
+        path degenerates to the serial sum — the pre-stream behaviour.
+        """
+        kernel = _KERNELS[self.kernel_version]
+        compute = ctx.stream("compute")
+        for b, (bin_name, batch_tasks, label) in enumerate(work):
+            copy = ctx.stream(f"copy{b % ctx.n_streams}")
+            with ctx.timeline.host_slice(f"stage {label}", _STAGE_LANE) as st:
+                staged = stage_batch(batch_tasks, self.config)
+            ctx.allocator.reset()
+            batch, ev_h2d = upload_batch(ctx, staged, stream=copy, deps=(st.event,))
+            _, ev_kernel = ctx.launch_async(
+                f"extension_{bin_name}_{self.kernel_version}",
+                kernel,
+                self._n_warps(len(batch_tasks)),
+                batch,
+                np.arange(len(batch_tasks)),
+                stream=compute,
+                deps=(ev_h2d,),
+                bin_name=bin_name,
+                kernel_version=self.kernel_version,
+            )
+            self._unpack(ctx, batch, staged, extensions, copy, ev_kernel, label)
+            report.n_batches += 1
+
+    # -- double-buffered driver --------------------------------------------------
+
+    def _run_overlapped(self, ctx: GpuContext, work, extensions, report) -> None:
+        """The §3.1 pipeline: a stager thread packs batch N+1 while the
+        engine executes batch N; copies and kernels overlap on streams."""
+        cfg = self.config
+        staged_q: queue.Queue = queue.Queue(maxsize=self.prefetch)
+        done = object()
+
+        def stager() -> None:
+            try:
+                for bin_name, batch_tasks, label in work:
+                    with ctx.timeline.host_slice(f"stage {label}", _STAGE_LANE) as st:
+                        staged = stage_batch(batch_tasks, cfg)
+                    staged_q.put((bin_name, batch_tasks, label, staged, st.event))
+                staged_q.put(done)
+            except BaseException as exc:  # surfaces in the driver thread
+                staged_q.put(exc)
+
+        thread = threading.Thread(target=stager, name="repro-stager", daemon=True)
+        thread.start()
+        kernel = _KERNELS[self.kernel_version]
+        compute = ctx.stream("compute")
+        b = 0
+        try:
+            while True:
+                item = staged_q.get()
+                if item is done:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                bin_name, batch_tasks, label, staged, ev_stage = item
+                copy = ctx.stream(f"copy{b % ctx.n_streams}")
+                batch, ev_h2d = upload_batch(
+                    ctx, staged, stream=copy, deps=(ev_stage,)
+                )
+                _, ev_kernel = ctx.launch_async(
+                    f"extension_{bin_name}_{self.kernel_version}",
+                    kernel,
+                    self._n_warps(len(batch_tasks)),
+                    batch,
+                    np.arange(len(batch_tasks)),
+                    stream=compute,
+                    deps=(ev_h2d,),
+                    bin_name=bin_name,
+                    kernel_version=self.kernel_version,
+                )
+                self._unpack(ctx, batch, staged, extensions, copy, ev_kernel, label)
+                free_batch(ctx, batch)
+                report.n_batches += 1
+                b += 1
+        finally:
+            # On an error path the stager may be blocked on a full queue;
+            # drain so it can finish, then join.
+            try:
+                while True:
+                    staged_q.get_nowait()
+            except queue.Empty:
+                pass
+            thread.join(timeout=60.0)
+
+    # -- unpacking ---------------------------------------------------------------
+
+    def _unpack(
+        self, ctx, batch, staged, extensions, copy_stream, ev_kernel, label
+    ) -> None:
+        """Copy back only the per-task extension spans and decode them.
+
+        The kernel appends the extension at ``[init_len, seq_len)`` of
+        each task's region in ``seq_buf``; everything else (the contig
+        tails and unused capacity) never crosses the bus.
+        """
+        regions = [
+            (
+                int(batch.seq_offsets[j]) + int(staged.seq_len_host[j]),
+                int(batch.seq_offsets[j]) + int(batch.seq_len[j]),
+            )
+            for j in range(batch.n_tasks)
+        ]
+        spans, ev_spans = ctx.from_device_regions_async(
+            batch.seq_buf, regions, copy_stream,
+            f"D2H ext {label}", (ev_kernel,),
+        )
+        _, ev_len = ctx.from_device_async(
+            batch.out_ext_len, copy_stream, f"D2H ext_len {label}", (ev_kernel,)
+        )
+        with ctx.timeline.host_slice(
+            f"unpack {label}", _DRIVE_LANE, deps=(ev_spans, ev_len)
+        ):
+            for j, task in enumerate(batch.tasks):
+                extensions[(task.cid, task.side)] = decode(spans[j])
+
+
+def _split_even(ids: list[int], parts: int) -> list[list[int]]:
+    """Split *ids* into up to *parts* contiguous near-equal chunks."""
+    parts = min(parts, len(ids))
+    bounds = np.linspace(0, len(ids), parts + 1).astype(int)
+    return [ids[a:b] for a, b in zip(bounds[:-1], bounds[1:]) if b > a]

@@ -26,7 +26,17 @@ from repro.core.tasks import ExtensionTask
 from repro.gpusim.kernel import GpuContext
 from repro.gpusim.memory import DeviceArray
 
-__all__ = ["DeviceBatch", "max_rounds", "ext_capacity", "pack_batch", "EMPTY_PTR"]
+__all__ = [
+    "DeviceBatch",
+    "StagedBatch",
+    "max_rounds",
+    "ext_capacity",
+    "stage_batch",
+    "upload_batch",
+    "pack_batch",
+    "free_batch",
+    "EMPTY_PTR",
+]
 
 #: ht_ptr value marking an empty slot.
 EMPTY_PTR = np.int64(-1)
@@ -130,12 +140,41 @@ class _TaskHeader:
     n_reads: int
 
 
-def pack_batch(
-    ctx: GpuContext,
+@dataclass
+class StagedBatch:
+    """Host-side staging of one batch: everything :func:`upload_batch`
+    needs, built by pure NumPy work with no device/context access.
+
+    This is the unit the overlapped driver's stager thread produces
+    (the pinned-host-buffer analogue): staging batch N+1 is real host
+    work that runs while the engine executes batch N.
+    """
+
+    tasks: list[ExtensionTask]
+    config: LocalAssemblyConfig
+    layout: HashTableLayout
+    reads_host: np.ndarray
+    quals_host: np.ndarray
+    read_offsets: np.ndarray
+    task_read_start: np.ndarray
+    seq_host: np.ndarray
+    seq_offsets: np.ndarray
+    #: per-task initial (tail) lengths — the driver's ``init_len``.
+    seq_len_host: np.ndarray
+    tail_cap: int
+    ext_cap: int
+    vis_slots: int
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+
+def stage_batch(
     tasks: list[ExtensionTask],
     config: LocalAssemblyConfig,
-) -> DeviceBatch:
-    """Pack *tasks* into device buffers on *ctx* (counts transfer cost)."""
+) -> StagedBatch:
+    """Pack *tasks* into flat host staging arrays (no device traffic)."""
     # reads
     all_reads = [r for t in tasks for r in t.reads]
     all_quals = [q for t in tasks for q in t.quals]
@@ -162,51 +201,126 @@ def pack_batch(
     per_task_seq = tail_cap + e_cap
     seq_offsets = np.arange(len(tasks) + 1, dtype=np.int64) * per_task_seq
     seq_host = np.zeros(len(tasks) * per_task_seq, dtype=np.uint8)
-    # Kernels update the per-task length in place; allocate through the
-    # context so worker shards of a parallel launch see the writes too.
-    seq_len = ctx.host_array(len(tasks), np.int64)
+    seq_len_host = np.zeros(len(tasks), dtype=np.int64)
     for i, t in enumerate(tasks):
         tail = t.contig[-tail_cap:]
         seq_host[seq_offsets[i] : seq_offsets[i] + tail.size] = tail
-        seq_len[i] = tail.size
+        seq_len_host[i] = tail.size
 
-    layout = plan_layout(TaskListView(tasks))
-    total_slots = layout.total_slots
+    return StagedBatch(
+        tasks=tasks,
+        config=config,
+        layout=plan_layout(TaskListView(tasks)),
+        reads_host=reads_host,
+        quals_host=quals_host,
+        read_offsets=read_offsets,
+        task_read_start=task_read_start,
+        seq_host=seq_host,
+        seq_offsets=seq_offsets,
+        seq_len_host=seq_len_host,
+        tail_cap=tail_cap,
+        ext_cap=e_cap,
+        vis_slots=2 * config.max_walk_len,
+    )
 
-    reads_buf = ctx.to_device(reads_host)
-    quals_buf = ctx.to_device(quals_host)
-    seq_buf = ctx.to_device(seq_host)
+
+def upload_batch(
+    ctx: GpuContext,
+    staged: StagedBatch,
+    stream=None,
+    deps: tuple = (),
+):
+    """Create device buffers for *staged* and copy the host data in.
+
+    With *stream* given, the copies go through the async API and the
+    return value is ``(DeviceBatch, done_event)`` — the event marks the
+    completion of the batch's H2D traffic on that stream.  Without one,
+    the copies are the classic synchronous ``to_device`` calls and the
+    return is just the :class:`DeviceBatch`.
+    """
+    tasks = staged.tasks
+    total_slots = staged.layout.total_slots
+
+    if stream is not None:
+        reads_buf, _ = ctx.to_device_async(
+            staged.reads_host, stream, "H2D reads", deps
+        )
+        quals_buf, _ = ctx.to_device_async(
+            staged.quals_host, stream, "H2D quals", deps
+        )
+        seq_buf, done = ctx.to_device_async(
+            staged.seq_host, stream, "H2D seq", deps
+        )
+    else:
+        reads_buf = ctx.to_device(staged.reads_host)
+        quals_buf = ctx.to_device(staged.quals_host)
+        seq_buf = ctx.to_device(staged.seq_host)
+        done = None
+    # Kernels update the per-task length in place; allocate through the
+    # context so worker shards of a parallel launch see the writes too.
+    seq_len = ctx.host_array(len(tasks), np.int64)
+    seq_len[...] = staged.seq_len_host
     ht_ptr = ctx.alloc(total_slots, np.int64)
     ht_ptr.data[...] = EMPTY_PTR
     ctx.mark_initialized(ht_ptr)  # host-side memset (a cudaMemset analogue)
     ht_hi = ctx.alloc(total_slots * 4, np.uint32)
     ht_total = ctx.alloc(total_slots * 4, np.uint32)
-    vis_slots = 2 * config.max_walk_len
-    vis_ptr = ctx.alloc(len(tasks) * vis_slots, np.int64)
+    vis_ptr = ctx.alloc(len(tasks) * staged.vis_slots, np.int64)
     vis_ptr.data[...] = EMPTY_PTR
     ctx.mark_initialized(vis_ptr)
     out_ext_len = ctx.alloc(max(len(tasks), 1), np.int32)
 
-    return DeviceBatch(
+    batch = DeviceBatch(
         tasks=tasks,
-        config=config,
-        layout=layout,
+        config=staged.config,
+        layout=staged.layout,
         reads_buf=reads_buf,
         quals_buf=quals_buf,
-        read_offsets=read_offsets,
-        task_read_start=task_read_start,
+        read_offsets=staged.read_offsets,
+        task_read_start=staged.task_read_start,
         seq_buf=seq_buf,
-        seq_offsets=seq_offsets,
+        seq_offsets=staged.seq_offsets,
         seq_len=seq_len,
-        tail_cap=tail_cap,
-        ext_cap=e_cap,
+        tail_cap=staged.tail_cap,
+        ext_cap=staged.ext_cap,
         ht_ptr=ht_ptr,
         ht_hi=ht_hi,
         ht_total=ht_total,
         vis_ptr=vis_ptr,
-        vis_slots=vis_slots,
+        vis_slots=staged.vis_slots,
         out_ext_len=out_ext_len,
     )
+    if stream is not None:
+        return batch, done
+    return batch
+
+
+def pack_batch(
+    ctx: GpuContext,
+    tasks: list[ExtensionTask],
+    config: LocalAssemblyConfig,
+) -> DeviceBatch:
+    """Pack *tasks* into device buffers on *ctx* (counts transfer cost).
+
+    The synchronous composition of :func:`stage_batch` +
+    :func:`upload_batch`, kept for callers that don't pipeline.
+    """
+    return upload_batch(ctx, stage_batch(tasks, config))
+
+
+def free_batch(ctx: GpuContext, batch: DeviceBatch) -> None:
+    """Release all of *batch*'s device allocations.
+
+    The overlapped driver frees batch N this way once its extensions are
+    unpacked (instead of the serial driver's whole-allocator ``reset``),
+    so batch N+1's buffers can already be resident.
+    """
+    for darr in (
+        batch.reads_buf, batch.quals_buf, batch.seq_buf,
+        batch.ht_ptr, batch.ht_hi, batch.ht_total,
+        batch.vis_ptr, batch.out_ext_len,
+    ):
+        ctx.allocator.free(darr)
 
 
 class TaskListView:

@@ -47,6 +47,9 @@ def extend_tasks(
     workers: int = 1,
     engine: str = "auto",
     sanitize: str = "off",
+    overlap: str = "off",
+    prefetch: int = 1,
+    streams: int = 2,
 ) -> tuple[dict[tuple[int, int], str], LocalAssemblyReport]:
     """Run local assembly over a prepared task set.
 
@@ -75,6 +78,9 @@ def extend_tasks(
             workers=workers,
             engine=engine,
             sanitize=sanitize,
+            overlap=overlap,
+            prefetch=prefetch,
+            streams=streams,
         )
         gpu = assembler.run(tasks)
         wall = time.perf_counter() - t0
@@ -100,6 +106,9 @@ def extend_contigs(
     workers: int = 1,
     engine: str = "auto",
     sanitize: str = "off",
+    overlap: str = "off",
+    prefetch: int = 1,
+    streams: int = 2,
 ) -> tuple["ContigSet", LocalAssemblyReport]:
     """Extend a contig set using per-contig candidate reads.
 
@@ -122,6 +131,9 @@ def extend_contigs(
         workers=workers,
         engine=engine,
         sanitize=sanitize,
+        overlap=overlap,
+        prefetch=prefetch,
+        streams=streams,
     )
     final = apply_extensions(contig_seqs, extensions)
     out = ContigSet(

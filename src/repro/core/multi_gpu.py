@@ -99,6 +99,11 @@ class NodeLocalAssembler:
         device: DeviceSpec = V100,
         kernel_version: str = "v2",
         workers: int = 1,
+        engine: str = "auto",
+        sanitize: str = "off",
+        overlap: str = "off",
+        prefetch: int = 1,
+        streams: int = 2,
     ) -> None:
         if n_gpus < 1:
             raise ValueError("need at least one GPU")
@@ -107,6 +112,11 @@ class NodeLocalAssembler:
         self.device = device
         self.kernel_version = kernel_version
         self.workers = workers
+        self.engine = engine
+        self.sanitize = sanitize
+        self.overlap = overlap
+        self.prefetch = prefetch
+        self.streams = streams
 
     def run(self, tasks: TaskSet) -> NodeLocalAssemblyReport:
         groups = partition_tasks_by_work(tasks, self.n_gpus)
@@ -118,6 +128,11 @@ class NodeLocalAssembler:
                 device=self.device,
                 kernel_version=self.kernel_version,
                 workers=self.workers,
+                engine=self.engine,
+                sanitize=self.sanitize,
+                overlap=self.overlap,
+                prefetch=self.prefetch,
+                streams=self.streams,
             )
             report = assembler.run(TaskSet([tasks[i] for i in group]))
             extensions.update(report.extensions)

@@ -23,7 +23,12 @@ from repro.gpusim.engine import (
     shard_ranges,
     shutdown_shared_pools,
 )
-from repro.gpusim.kernel import ENGINE_MODES, GpuContext, LaunchResult
+from repro.gpusim.kernel import (
+    ENGINE_MODES,
+    OVERLAP_MODES,
+    GpuContext,
+    LaunchResult,
+)
 from repro.gpusim.memory import (
     DeviceAllocator,
     DeviceArray,
@@ -31,6 +36,7 @@ from repro.gpusim.memory import (
     DeviceOutOfMemory,
     count_sectors,
 )
+from repro.gpusim.streams import HOST_LANE, Event, Stream, StreamTimeline, TimelineOp
 from repro.gpusim.roofline import (
     MEMORY_WALLS,
     RooflinePoint,
@@ -65,6 +71,12 @@ __all__ = [
     "plan_shards",
     "shutdown_shared_pools",
     "ENGINE_MODES",
+    "OVERLAP_MODES",
+    "Event",
+    "Stream",
+    "StreamTimeline",
+    "TimelineOp",
+    "HOST_LANE",
     "BatchCounters",
     "WarpBatch",
     "register_batched",

@@ -24,16 +24,26 @@ import numpy as np
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import DeviceSpec, V100
 from repro.gpusim.memory import DeviceAllocator, DeviceArray
+from repro.gpusim.streams import Event, Stream, StreamTimeline
 from repro.gpusim.timing import KernelTiming, TimingModel
 from repro.gpusim.warp import Warp
 
-__all__ = ["LaunchResult", "GpuContext", "ENGINE_MODES"]
+__all__ = ["LaunchResult", "GpuContext", "ENGINE_MODES", "OVERLAP_MODES"]
 
 KernelFn = Callable[..., None]
 
 #: valid ``GpuContext(engine=...)`` values.  ``"auto"`` resolves to
-#: ``"pool"`` when the context has workers, else ``"sequential"``.
+#: ``"batched"`` — the SoA engine is 7-22x faster than the sequential
+#: interpreter on every measured workload (BENCH_engine.json), while the
+#: process pool loses to IPC overhead on small boxes, so the pool runs
+#: only on explicit request.  Kernels without a batched implementation
+#: (e.g. v1) fall back to sequential interpretation per launch.
 ENGINE_MODES = ("auto", "sequential", "pool", "batched")
+
+#: valid ``GpuContext(overlap=...)`` values: ``"on"`` lets ops on
+#: different streams overlap on the modelled timeline, ``"off"``
+#: serialises every op (the classic synchronous driver).
+OVERLAP_MODES = ("off", "on")
 
 
 @dataclass(frozen=True)
@@ -84,8 +94,15 @@ class GpuContext:
     * ``"batched"`` — the SoA engine (:mod:`repro.gpusim.batched`): all
       warps advance in lockstep through vectorised kernel steps.  Kernels
       without a registered batched implementation fall back to sequential;
-    * ``"auto"`` (default) — ``"pool"`` when ``workers > 1``, else
-      ``"sequential"``.
+    * ``"auto"`` (default) — ``"batched"``: the SoA engine dominates the
+      alternatives (BENCH_engine.json: 7-22x vs. sequential, pool at
+      0.67-0.79x), so the pool only runs when explicitly requested.
+
+    The context also owns a :class:`~repro.gpusim.streams.StreamTimeline`
+    and the CUDA-style async API (:meth:`to_device_async`,
+    :meth:`launch_async`, :meth:`from_device_async`): ops placed on
+    different streams may overlap on the modelled clock when
+    ``overlap="on"``, and serialise globally when ``overlap="off"``.
 
     Call :meth:`close` (or use the context manager form) when done to
     release the pool and unlink shared segments.
@@ -97,10 +114,15 @@ class GpuContext:
     launches: list[LaunchResult] = field(default_factory=list)
     transfer_bytes: int = 0
     transfer_time_s: float = 0.0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
     workers: int = 1
     engine_mode: str = field(default="auto", init=False)
     engine: str = "auto"
     sanitize: str = "off"
+    overlap: str = "off"
+    n_streams: int = 2
+    timeline: StreamTimeline = field(default=None, repr=False)  # type: ignore[assignment]
     sanitizer: "object" = field(default=None, init=False, repr=False)
     _engine: "object" = field(default=None, init=False, repr=False)
 
@@ -111,11 +133,15 @@ class GpuContext:
             raise ValueError(
                 f"engine must be one of {ENGINE_MODES}, got {self.engine!r}"
             )
-        self.engine_mode = (
-            ("pool" if self.workers > 1 else "sequential")
-            if self.engine == "auto"
-            else self.engine
-        )
+        if self.overlap not in OVERLAP_MODES:
+            raise ValueError(
+                f"overlap must be one of {OVERLAP_MODES}, got {self.overlap!r}"
+            )
+        if self.n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        self.engine_mode = "batched" if self.engine == "auto" else self.engine
+        if self.timeline is None:
+            self.timeline = StreamTimeline(serialize=self.overlap != "on")
         if self.sanitize != "off":
             from repro.sanitize import SANITIZE_MODES, Sanitizer
 
@@ -152,15 +178,24 @@ class GpuContext:
     def to_device(self, host_array) -> DeviceArray:
         """Copy host data in, accounting for transfer time."""
         darr = self.allocator.to_device(host_array)
-        self.transfer_bytes += darr.nbytes
-        self.transfer_time_s += self.timing_model.transfer_time(darr.nbytes)
+        self._account_transfer(darr.nbytes, "h2d")
         return darr
 
     def from_device(self, darr: DeviceArray):
         """Copy device data out (returns the host array)."""
-        self.transfer_bytes += darr.nbytes
-        self.transfer_time_s += self.timing_model.transfer_time(darr.nbytes)
+        self._account_transfer(darr.nbytes, "d2h")
         return darr.data.copy()
+
+    def _account_transfer(self, nbytes: int, direction: str) -> float:
+        """Book *nbytes* of host<->device traffic; returns its modelled time."""
+        t = self.timing_model.transfer_time(nbytes)
+        self.transfer_bytes += nbytes
+        self.transfer_time_s += t
+        if direction == "h2d":
+            self.h2d_bytes += nbytes
+        else:
+            self.d2h_bytes += nbytes
+        return t
 
     def mark_initialized(self, darr: DeviceArray) -> None:
         """Declare *darr* host-initialised (a NumPy-side memset) so
@@ -172,6 +207,91 @@ class GpuContext:
         """The accumulated :class:`~repro.sanitize.SanitizerReport`, or
         None when the context runs with ``sanitize="off"``."""
         return None if self.sanitizer is None else self.sanitizer.report()
+
+    # -- streams (CUDA-style async API) -----------------------------------------
+    #
+    # The *functional* effect of every async op is immediate (this is a
+    # simulator: the copy/kernel runs in the calling thread); what is
+    # asynchronous is the *modelled* op, placed on a stream of the
+    # timeline by its declared dependencies.  With ``overlap="off"`` the
+    # timeline serialises every op, reproducing the synchronous driver.
+
+    def stream(self, name: str) -> Stream:
+        """Get or create the named stream on this context's timeline."""
+        return self.timeline.stream(name)
+
+    def to_device_async(
+        self, host_array, stream: Stream, name: str = "H2D",
+        deps: tuple = (),
+    ) -> tuple[DeviceArray, Event]:
+        """Async host→device copy: data lands now, the modelled copy is
+        placed on *stream* after *deps*.  Returns (array, done-event)."""
+        darr = self.allocator.to_device(host_array)
+        t = self._account_transfer(darr.nbytes, "h2d")
+        done = self.timeline.push(stream, name, "h2d", t, deps, darr.nbytes)
+        return darr, done
+
+    def from_device_async(
+        self, darr: DeviceArray, stream: Stream, name: str = "D2H",
+        deps: tuple = (),
+    ) -> tuple[np.ndarray, Event]:
+        """Async device→host copy of a whole array."""
+        t = self._account_transfer(darr.nbytes, "d2h")
+        done = self.timeline.push(stream, name, "d2h", t, deps, darr.nbytes)
+        return darr.data.copy(), done
+
+    def from_device_regions_async(
+        self,
+        darr: DeviceArray,
+        regions,
+        stream: Stream,
+        name: str = "D2H spans",
+        deps: tuple = (),
+    ) -> tuple[list[np.ndarray], Event]:
+        """Async gathered device→host copy of element spans.
+
+        *regions* is a sequence of ``(start, stop)`` element index pairs;
+        only those bytes cross the bus (one strided copy — a
+        ``cudaMemcpy2D`` analogue: a single launch/latency, the summed
+        span bytes of traffic).  This is the driver's shrunk D2H path:
+        it replaces copying a whole ``seq_buf`` when only the per-task
+        extension spans are needed.
+        """
+        spans = [darr.data[int(a):int(b)].copy() for a, b in regions]
+        nbytes = sum(s.nbytes for s in spans)
+        t = self._account_transfer(nbytes, "d2h")
+        done = self.timeline.push(stream, name, "d2h", t, deps, nbytes)
+        return spans, done
+
+    def launch_async(
+        self,
+        name: str,
+        kernel_fn: KernelFn,
+        n_warps: int,
+        *args,
+        stream: Stream,
+        deps: tuple = (),
+        bin_name: str = "",
+        kernel_version: str = "",
+    ) -> tuple["LaunchResult", Event]:
+        """Run a launch and place its modelled time on *stream* after *deps*."""
+        result = self.launch(
+            name, kernel_fn, n_warps, *args,
+            bin_name=bin_name, kernel_version=kernel_version,
+        )
+        done = self.timeline.push(
+            stream, name, "kernel", result.time_s, deps
+        )
+        return result, done
+
+    def synchronize(self) -> float:
+        """Modelled completion time of everything placed on the timeline
+        (cudaDeviceSynchronize): the measured critical path."""
+        return self.timeline.end_s()
+
+    def export_trace(self, path) -> None:
+        """Write the timeline as a chrome://tracing JSON file."""
+        self.timeline.save_chrome_trace(path)
 
     # -- launching ----------------------------------------------------------------
 

@@ -60,6 +60,14 @@ class PipelineConfig:
     #: dynamic checker mode ("off" | "memcheck" | "racecheck" |
     #: "initcheck" | "full") for the GPU local-assembly stage
     local_assembly_sanitize: str = "off"
+    #: overlapped (double-buffered) GPU driver ("off" | "on"): stage
+    #: batch N+1 while batch N executes, transfers overlap kernels
+    local_assembly_overlap: str = "off"
+    #: staging depth of the overlapped driver (batches the stager may
+    #: run ahead)
+    local_assembly_prefetch: int = 1
+    #: copy streams the overlapped driver round-robins batches across
+    local_assembly_streams: int = 2
     # scaffolding
     insert_mean: float = 350.0
     #: estimate the insert size from same-contig pairs (MHM2 behaviour);
@@ -87,6 +95,16 @@ class PipelineConfig:
             raise ValueError(
                 f"local_assembly_sanitize must be one of {SANITIZE_MODES}"
             )
+        from repro.gpusim import OVERLAP_MODES
+
+        if self.local_assembly_overlap not in OVERLAP_MODES:
+            raise ValueError(
+                f"local_assembly_overlap must be one of {OVERLAP_MODES}"
+            )
+        if self.local_assembly_prefetch < 1:
+            raise ValueError("local_assembly_prefetch must be >= 1")
+        if self.local_assembly_streams < 1:
+            raise ValueError("local_assembly_streams must be >= 1")
 
 
 @dataclass
@@ -208,6 +226,9 @@ def run_pipeline(
             workers=config.local_assembly_workers,
             engine=config.local_assembly_engine,
             sanitize=config.local_assembly_sanitize,
+            overlap=config.local_assembly_overlap,
+            prefetch=config.local_assembly_prefetch,
+            streams=config.local_assembly_streams,
         )
 
     scaffolds: ScaffoldingResult | None = None

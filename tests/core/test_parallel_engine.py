@@ -1,6 +1,7 @@
 """Driver-level contract of the parallel warp engine.
 
-``GpuLocalAssembler(workers=N)`` must be *indistinguishable* from the
+``GpuLocalAssembler(workers=N, engine="pool")`` must be *indistinguishable*
+from the
 sequential driver in everything but wall-clock: extensions, merged
 counters, per-launch ``per_warp_inst`` tuples and modelled timing are all
 bit-identical, and both match the CPU reference.  This pins the tentpole
@@ -80,19 +81,21 @@ class TestParallelDeterminism:
     @pytest.mark.parametrize("version", ["v2", "v1"])
     @pytest.mark.parametrize("workers", [2, 4])
     def test_bit_identical_to_sequential(self, workload, config, version, workers):
-        seq = GpuLocalAssembler(config, kernel_version=version, workers=1).run(workload)
-        par = GpuLocalAssembler(config, kernel_version=version, workers=workers).run(
-            workload
-        )
+        seq = GpuLocalAssembler(
+            config, kernel_version=version, workers=1, engine="sequential"
+        ).run(workload)
+        par = GpuLocalAssembler(
+            config, kernel_version=version, workers=workers, engine="pool"
+        ).run(workload)
         _assert_identical_reports(seq, par)
 
     def test_parallel_matches_cpu_reference(self, workload, config):
         cpu, _ = run_local_assembly_cpu(workload, config)
-        par = GpuLocalAssembler(config, workers=2).run(workload)
+        par = GpuLocalAssembler(config, workers=2, engine="pool").run(workload)
         assert par.extensions == cpu
 
     def test_bin_attribution_uses_structured_fields(self, workload, config):
-        report = GpuLocalAssembler(config, workers=2).run(workload)
+        report = GpuLocalAssembler(config, workers=2, engine="pool").run(workload)
         bins_seen = {l.bin for l in report.launches}
         assert bins_seen <= {"bin2", "bin3"}
         assert all(l.kernel == "v2" for l in report.launches)
