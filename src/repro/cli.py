@@ -22,6 +22,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -86,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="staging depth of the overlapped driver")
     asm.add_argument("--streams", type=_positive_int, default=2,
                      help="copy streams for the overlapped driver")
+    asm.add_argument("--batch-cap", type=_positive_int, default=None,
+                     help="cap tasks per GPU batch (default: memory-budget "
+                          "batching only)")
+    asm.add_argument("--profile-host", action="store_true",
+                     help="print per-phase host wall-clock timings "
+                          "(stage/upload/dispatch/unpack/free) after the run")
 
     st = sub.add_parser("stats", help="assembly statistics for FASTA files")
     st.add_argument("fastas", type=Path, nargs="+")
@@ -124,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="staging depth of the overlapped driver")
     la.add_argument("--streams", type=_positive_int, default=2,
                     help="copy streams for the overlapped driver")
+    la.add_argument("--batch-cap", type=_positive_int, default=None,
+                    help="cap tasks per GPU batch (default: memory-budget "
+                         "batching only)")
+    la.add_argument("--profile-host", action="store_true",
+                    help="print per-phase host wall-clock timings "
+                         "(stage/upload/dispatch/unpack/free) after the run")
     la.add_argument("--trace", type=Path, default=None,
                     help="write the run's stream timeline as a "
                          "chrome://tracing / Perfetto JSON file")
@@ -193,6 +206,8 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         local_assembly_overlap=args.overlap,
         local_assembly_prefetch=args.prefetch,
         local_assembly_streams=args.streams,
+        local_assembly_batch_cap=args.batch_cap,
+        local_assembly_profile_host=args.profile_host,
         run_scaffolding=not args.no_scaffold,
     )
     args.out.mkdir(parents=True, exist_ok=True)
@@ -307,6 +322,8 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
         overlap=args.overlap,
         prefetch=args.prefetch,
         streams=args.streams,
+        batch_cap=args.batch_cap,
+        profile_host=args.profile_host,
     )
     print(f"{report.n_extended} ends extended "
           f"(+{report.total_extension_bases} bp) in {report.wall_time_s:.2f} s wall")
@@ -320,8 +337,15 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
               f"critical path {g.critical_path_s*1e3:.2f} ms "
               f"(overlap {g.overlap}), {g.n_batches} batch(es), "
               f"{g.high_water_bytes/1e6:.1f} MB device high-water")
+        if g.host_profile is not None:
+            print(g.host_profile.format_summary())
         if args.trace is not None:
             g.timeline.save_chrome_trace(args.trace)
+            if g.host_profile is not None:
+                # merge the host-profiler lanes next to the stream lanes
+                trace = json.loads(args.trace.read_text())
+                trace["traceEvents"].extend(g.host_profile.chrome_events(pid=2))
+                args.trace.write_text(json.dumps(trace, indent=2) + "\n")
             print(f"stream timeline -> {args.trace}")
         if g.sanitizer is not None:
             print(g.sanitizer.summary())

@@ -12,13 +12,29 @@ Two execution shapes share one codebase:
   launch, copy back, one batch at a time.  Every op still lands on the
   context's stream timeline, fully serialised, so the reported critical
   path equals the serial sum.
-* ``overlap="on"`` — the §3.1 double-buffered pipeline: a stager thread
-  packs batch N+1 into host staging buffers (real NumPy work) while the
-  engine executes batch N; uploads ride copy streams, kernels ride the
-  compute stream, and events order them.  Bin 3 launches first and bin
-  2's transfers overlap bin 3's tail, exactly the prefetch/compute
-  overlap MHM2 uses.  The memory budget is split ``prefetch + 1`` ways
-  so the modelled double-residency is honest.
+* ``overlap="on"`` — the §3.1 double-buffered pipeline: a persistent
+  stager worker packs batch N+1 into host staging buffers (real NumPy
+  work) while the engine executes batch N; uploads ride copy streams,
+  kernels ride the compute stream, and events order them.  Bin 3 launches
+  first and bin 2's transfers overlap bin 3's tail, exactly the
+  prefetch/compute overlap MHM2 uses.  The memory budget is split
+  ``prefetch + 1`` ways so the modelled double-residency is honest.
+
+The host path is engineered to stay off the real-time critical path
+(wall clock must track the model, not fight it):
+
+* staging is bulk NumPy into recycled :class:`~repro.core.gpu_batch.
+  StagingArena` buffers; device buffers recycle through a
+  :class:`~repro.core.gpu_batch.DeviceArena` (both skipped under a
+  sanitizer, which wants precise per-allocation attribution);
+* on the batched engine, the overlapped driver *fuses* each wave of up
+  to ``prefetch + 1`` same-bin batches into one SoA sweep
+  (:meth:`~repro.gpusim.kernel.GpuContext.launch_fused`), paying the
+  per-op Python overhead once per wave instead of once per batch.  The
+  per-warp counters split back exactly, so every reported launch — and
+  the modelled timeline — is identical to the unfused schedule;
+* a :class:`~repro.perf.HostProfiler` (``profile_host=True``) times every
+  stage/upload/dispatch/unpack/free block so the claims are measured.
 
 Results are bit-identical to :func:`repro.core.cpu_local_assembly.
 run_local_assembly_cpu` — and across ``overlap`` modes and engines; what
@@ -32,6 +48,7 @@ from __future__ import annotations
 import queue
 import threading
 from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,9 +60,18 @@ from repro.core.extension_kernel import (
     extension_task_kernel_v2,
 )
 import repro.core.extension_kernel_batched  # noqa: F401  (registers the batched v2 impl)
-from repro.core.gpu_batch import TaskListView, free_batch, stage_batch, upload_batch
+from repro.core.gpu_batch import (
+    DeviceArena,
+    StagingArena,
+    TaskListView,
+    free_batch,
+    fuse_staged,
+    stage_batch,
+    upload_batch,
+)
 from repro.core.ht_sizing import plan_batches
 from repro.core.tasks import TaskSet
+from repro.gpusim.batched import batched_impl
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import V100, DeviceSpec
 from repro.gpusim.kernel import (
@@ -54,6 +80,7 @@ from repro.gpusim.kernel import (
     GpuContext,
     LaunchResult,
 )
+from repro.perf import HostProfiler
 from repro.sequence.dna import decode
 
 __all__ = ["GpuLocalAssemblyReport", "GpuLocalAssembler"]
@@ -66,6 +93,21 @@ _KERNELS = {
 #: timeline lane names used by the driver.
 _STAGE_LANE = "host.stage"
 _DRIVE_LANE = "host.drive"
+
+#: the persistent stager worker, shared by every overlapped run in the
+#: process (satellite of the per-run thread churn: one executor, reused).
+_STAGER: ThreadPoolExecutor | None = None
+_STAGER_LOCK = threading.Lock()
+
+
+def _stager_executor() -> ThreadPoolExecutor:
+    global _STAGER
+    with _STAGER_LOCK:
+        if _STAGER is None:
+            _STAGER = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-stager"
+            )
+        return _STAGER
 
 
 @dataclass
@@ -95,6 +137,9 @@ class GpuLocalAssemblyReport:
     timeline: "object" = field(default=None, repr=False)
     #: SanitizerReport when the run was sanitized, else None
     sanitizer: "object" = None
+    #: :class:`~repro.perf.HostProfiler` with per-phase wall-clock records
+    #: when the run had ``profile_host=True``, else None.
+    host_profile: "object" = field(default=None, repr=False)
 
     @property
     def kernel_time_s(self) -> float:
@@ -125,6 +170,10 @@ class GpuLocalAssemblyReport:
         return self.timeline.lane_busy_s(_STAGE_LANE) + self.timeline.lane_busy_s(
             _DRIVE_LANE
         )
+
+    def host_dispatch_s(self) -> float:
+        """Real host seconds spent driving the engine across all launches."""
+        return sum(l.host_dispatch_s for l in self.launches)
 
     def merged_counters(self) -> KernelCounters:
         merged = KernelCounters()
@@ -165,21 +214,31 @@ class GpuLocalAssembler:
         :class:`~repro.sanitize.Sanitizer` to the context and stores its
         report on :attr:`GpuLocalAssemblyReport.sanitizer`.  A sanitized
         run serialises the overlapped pipeline (shadow state is not
-        thread-safe) — the same slowdown-for-visibility trade the pool
-        engine already makes.
+        thread-safe) and disables buffer arenas + fused dispatch, so every
+        allocation and launch stays individually attributable.
     overlap:
         ``"off"`` (default) — the synchronous driver; ``"on"`` — the
-        double-buffered pipeline: a stager thread packs batch N+1 while
+        double-buffered pipeline: the stager worker packs batch N+1 while
         the engine executes batch N, transfers overlap kernels on the
         modelled stream timeline.  Extensions are bit-identical either
         way.
     prefetch:
         Staging depth of the overlapped pipeline: how many batches the
         stager may run ahead of the engine.  The device memory budget is
-        split ``prefetch + 1`` ways so the modelled residency is honest.
+        split ``prefetch + 1`` ways so the modelled residency is honest;
+        on the batched engine, each wave of up to ``prefetch + 1``
+        same-bin batches dispatches as one fused SoA sweep.
     streams:
         Number of copy streams batches round-robin across (the compute
         stream is always one — one device).
+    batch_cap:
+        Optional cap on tasks per batch (a batching quantum).  Applied on
+        top of the memory-budget batching in *both* overlap modes, so
+        serial and overlapped runs compare on identical batch schedules.
+    profile_host:
+        Record per-phase host wall-clock timings
+        (:class:`~repro.perf.HostProfiler`) on
+        :attr:`GpuLocalAssemblyReport.host_profile`.
     """
 
     def __init__(
@@ -193,6 +252,8 @@ class GpuLocalAssembler:
         overlap: str = "off",
         prefetch: int = 1,
         streams: int = 2,
+        batch_cap: int | None = None,
+        profile_host: bool = False,
     ) -> None:
         if kernel_version not in _KERNELS:
             raise ValueError(f"kernel_version must be one of {sorted(_KERNELS)}")
@@ -206,6 +267,8 @@ class GpuLocalAssembler:
             raise ValueError("prefetch must be >= 1")
         if streams < 1:
             raise ValueError("streams must be >= 1")
+        if batch_cap is not None and batch_cap < 1:
+            raise ValueError("batch_cap must be >= 1 (or None)")
         from repro.sanitize import SANITIZE_MODES
 
         if sanitize not in SANITIZE_MODES:
@@ -219,6 +282,8 @@ class GpuLocalAssembler:
         self.overlap = overlap
         self.prefetch = prefetch
         self.streams = streams
+        self.batch_cap = batch_cap
+        self.profile_host = profile_host
 
     def run(self, tasks: TaskSet) -> GpuLocalAssemblyReport:
         """Extend every task; returns the report with all measurements."""
@@ -245,18 +310,20 @@ class GpuLocalAssembler:
             overlap="on" if overlap_on else "off",
             n_streams=self.streams,
         )
+        prof = HostProfiler(enabled=self.profile_host)
         report = GpuLocalAssemblyReport(
             extensions=extensions,
             bins=bins,
             overlap="on" if overlap_on else "off",
+            host_profile=prof if self.profile_host else None,
         )
 
         try:
             work = self._plan_work(tasks, bins, tasks_by_cid, overlap_on)
             if overlap_on:
-                self._run_overlapped(ctx, work, extensions, report)
+                self._run_overlapped(ctx, work, extensions, report, prof)
             else:
-                self._run_serial(ctx, work, extensions, report)
+                self._run_serial(ctx, work, extensions, report, prof)
 
             report.launches = list(ctx.launches)
             report.transfer_time_s = ctx.transfer_time_s
@@ -283,6 +350,8 @@ class GpuLocalAssembler:
         hide anything, and at most ``prefetch + 1`` of them resident on
         the device — so the memory budget is split that many ways, and a
         bin whose whole task list fits one batch is split evenly instead.
+        An explicit ``batch_cap`` chunks further, identically in both
+        overlap modes.
         """
         budget = self.device.global_mem_bytes
         parts = self.prefetch + 1
@@ -294,6 +363,13 @@ class GpuLocalAssembler:
             if not bin_tasks:
                 continue
             planned = plan_batches(TaskListView(bin_tasks), budget)
+            if self.batch_cap is not None:
+                cap = self.batch_cap
+                planned = [
+                    ids[a : a + cap]
+                    for ids in planned
+                    for a in range(0, len(ids), cap)
+                ]
             if overlap_on and len(planned) == 1 and len(planned[0]) > 1:
                 planned = _split_even(planned[0], parts)
             for k, batch_ids in enumerate(planned):
@@ -311,70 +387,31 @@ class GpuLocalAssembler:
 
     # -- synchronous driver ------------------------------------------------------
 
-    def _run_serial(self, ctx: GpuContext, work, extensions, report) -> None:
+    def _run_serial(self, ctx: GpuContext, work, extensions, report, prof) -> None:
         """Stage, upload, launch, unpack — one batch at a time.
 
         Ops still land on the (serialised) timeline, so the critical
         path degenerates to the serial sum — the pre-stream behaviour.
+        Unsanitized runs recycle host and device buffers through arenas;
+        sanitized runs keep the reset-per-batch allocator discipline so
+        every allocation stays individually attributable.
         """
         kernel = _KERNELS[self.kernel_version]
         compute = ctx.stream("compute")
+        darena = DeviceArena(ctx) if ctx.sanitizer is None else None
+        sarena = StagingArena() if ctx.sanitizer is None else None
         for b, (bin_name, batch_tasks, label) in enumerate(work):
             copy = ctx.stream(f"copy{b % ctx.n_streams}")
             with ctx.timeline.host_slice(f"stage {label}", _STAGE_LANE) as st:
-                staged = stage_batch(batch_tasks, self.config)
-            ctx.allocator.reset()
-            batch, ev_h2d = upload_batch(ctx, staged, stream=copy, deps=(st.event,))
-            _, ev_kernel = ctx.launch_async(
-                f"extension_{bin_name}_{self.kernel_version}",
-                kernel,
-                self._n_warps(len(batch_tasks)),
-                batch,
-                np.arange(len(batch_tasks)),
-                stream=compute,
-                deps=(ev_h2d,),
-                bin_name=bin_name,
-                kernel_version=self.kernel_version,
-            )
-            self._unpack(ctx, batch, staged, extensions, copy, ev_kernel, label)
-            report.n_batches += 1
-
-    # -- double-buffered driver --------------------------------------------------
-
-    def _run_overlapped(self, ctx: GpuContext, work, extensions, report) -> None:
-        """The §3.1 pipeline: a stager thread packs batch N+1 while the
-        engine executes batch N; copies and kernels overlap on streams."""
-        cfg = self.config
-        staged_q: queue.Queue = queue.Queue(maxsize=self.prefetch)
-        done = object()
-
-        def stager() -> None:
-            try:
-                for bin_name, batch_tasks, label in work:
-                    with ctx.timeline.host_slice(f"stage {label}", _STAGE_LANE) as st:
-                        staged = stage_batch(batch_tasks, cfg)
-                    staged_q.put((bin_name, batch_tasks, label, staged, st.event))
-                staged_q.put(done)
-            except BaseException as exc:  # surfaces in the driver thread
-                staged_q.put(exc)
-
-        thread = threading.Thread(target=stager, name="repro-stager", daemon=True)
-        thread.start()
-        kernel = _KERNELS[self.kernel_version]
-        compute = ctx.stream("compute")
-        b = 0
-        try:
-            while True:
-                item = staged_q.get()
-                if item is done:
-                    break
-                if isinstance(item, BaseException):
-                    raise item
-                bin_name, batch_tasks, label, staged, ev_stage = item
-                copy = ctx.stream(f"copy{b % ctx.n_streams}")
+                with prof.phase("stage", label):
+                    staged = stage_batch(batch_tasks, self.config, arena=sarena)
+            if darena is None:
+                ctx.allocator.reset()
+            with prof.phase("upload", label):
                 batch, ev_h2d = upload_batch(
-                    ctx, staged, stream=copy, deps=(ev_stage,)
+                    ctx, staged, stream=copy, deps=(st.event,), arena=darena
                 )
+            with prof.phase("dispatch", label):
                 _, ev_kernel = ctx.launch_async(
                     f"extension_{bin_name}_{self.kernel_version}",
                     kernel,
@@ -386,50 +423,187 @@ class GpuLocalAssembler:
                     bin_name=bin_name,
                     kernel_version=self.kernel_version,
                 )
+            with prof.phase("unpack", label):
                 self._unpack(ctx, batch, staged, extensions, copy, ev_kernel, label)
-                free_batch(ctx, batch)
-                report.n_batches += 1
+            if darena is not None:
+                with prof.phase("free", label):
+                    free_batch(ctx, batch, arena=darena)
+            report.n_batches += 1
+
+    # -- double-buffered driver --------------------------------------------------
+
+    def _run_overlapped(self, ctx: GpuContext, work, extensions, report, prof) -> None:
+        """The §3.1 pipeline: the persistent stager worker packs batch
+        N+1 while the engine executes batch N; copies and kernels overlap
+        on streams.  On the batched engine, each wave of up to
+        ``prefetch + 1`` same-bin batches runs as one fused SoA sweep."""
+        cfg = self.config
+        staged_q: queue.Queue = queue.Queue(maxsize=self.prefetch)
+        stop = threading.Event()
+        # Staging-arena ring: an item's big arrays must survive from the
+        # stager (≤ queue + 1 in flight) through the consumer's wave
+        # buffer (≤ prefetch + 1 held) until fused/uploaded.
+        arenas = [StagingArena() for _ in range(2 * self.prefetch + 3)]
+
+        def stage_all() -> None:
+            try:
+                for i, (bin_name, batch_tasks, label) in enumerate(work):
+                    if stop.is_set():
+                        return
+                    with ctx.timeline.host_slice(f"stage {label}", _STAGE_LANE) as st:
+                        with prof.phase("stage", label):
+                            staged = stage_batch(
+                                batch_tasks, cfg, arena=arenas[i % len(arenas)]
+                            )
+                    staged_q.put((staged, st.event))
+            except BaseException as exc:  # surfaces in the driver thread
+                staged_q.put(exc)
+
+        future = _stager_executor().submit(stage_all)
+        kernel = _KERNELS[self.kernel_version]
+        compute = ctx.stream("compute")
+        darena = DeviceArena(ctx) if ctx.sanitizer is None else None
+        # Fused dispatch needs the batched engine (and its BatchCounters
+        # row-local accounting); anything else keeps per-batch launches.
+        fused_ok = (
+            darena is not None
+            and ctx.engine_mode == "batched"
+            and batched_impl(kernel) is not None
+        )
+        waves = _plan_waves(work, self.prefetch + 1 if fused_ok else 1)
+        b = 0
+
+        def next_staged():
+            item = staged_q.get()
+            if isinstance(item, BaseException):
+                raise item
+            return item
+
+        try:
+            for rows in waves:
+                bin_name = work[rows[0]][0]
+                entries = [next_staged() for _ in rows]
+                copy = ctx.stream(f"copy{b % ctx.n_streams}")
+                if len(rows) == 1:
+                    staged, ev_stage = entries[0]
+                    label = work[rows[0]][2]
+                    with prof.phase("upload", label):
+                        batch, ev_h2d = upload_batch(
+                            ctx, staged, stream=copy, deps=(ev_stage,), arena=darena
+                        )
+                    with prof.phase("dispatch", label):
+                        _, ev_kernel = ctx.launch_async(
+                            f"extension_{bin_name}_{self.kernel_version}",
+                            kernel,
+                            self._n_warps(len(work[rows[0]][1])),
+                            batch,
+                            np.arange(batch.n_tasks),
+                            stream=compute,
+                            deps=(ev_h2d,),
+                            bin_name=bin_name,
+                            kernel_version=self.kernel_version,
+                        )
+                    with prof.phase("unpack", label):
+                        self._unpack(
+                            ctx, batch, staged, extensions, copy, ev_kernel, label
+                        )
+                else:
+                    labels = [work[r][2] for r in rows]
+                    wave_label = f"{labels[0]}+{len(rows) - 1}"
+                    with prof.phase("stage", f"fuse {wave_label}"):
+                        fused = fuse_staged([e[0] for e in entries])
+                    with prof.phase("upload", wave_label):
+                        batch, ev_h2d = upload_batch(
+                            ctx,
+                            fused,
+                            stream=copy,
+                            deps=tuple(e[1] for e in entries),
+                            arena=darena,
+                        )
+                    sub_warps = [len(work[r][1]) for r in rows]
+                    with prof.phase("dispatch", wave_label):
+                        results = ctx.launch_fused(
+                            f"extension_{bin_name}_{self.kernel_version}",
+                            kernel,
+                            sub_warps,
+                            batch,
+                            np.arange(batch.n_tasks),
+                            bin_name=bin_name,
+                            kernel_version=self.kernel_version,
+                        )
+                    # Per-sub kernel + D2H ops keep the modelled timeline
+                    # identical to the unfused schedule.
+                    deps = (ev_h2d,)
+                    lo = 0
+                    for res, label, n_sub in zip(results, labels, sub_warps):
+                        ev_kernel = ctx.timeline.push(
+                            compute, res.name, "kernel", res.time_s, deps
+                        )
+                        deps = (ev_kernel,)
+                        with prof.phase("unpack", label):
+                            self._unpack(
+                                ctx, batch, fused, extensions, copy, ev_kernel,
+                                label, lo, lo + n_sub,
+                            )
+                        lo += n_sub
+                if darena is not None:
+                    with prof.phase("free", work[rows[-1]][2]):
+                        free_batch(ctx, batch, arena=darena)
+                report.n_batches += len(rows)
                 b += 1
         finally:
             # On an error path the stager may be blocked on a full queue;
-            # drain so it can finish, then join.
+            # signal it, drain so it can finish, then wait it out.
+            stop.set()
             try:
                 while True:
                     staged_q.get_nowait()
             except queue.Empty:
                 pass
-            thread.join(timeout=60.0)
+            future.exception(timeout=60.0)
 
     # -- unpacking ---------------------------------------------------------------
 
     def _unpack(
-        self, ctx, batch, staged, extensions, copy_stream, ev_kernel, label
+        self, ctx, batch, staged, extensions, copy_stream, ev_kernel, label,
+        lo: int = 0, hi: int | None = None,
     ) -> None:
         """Copy back only the per-task extension spans and decode them.
 
         The kernel appends the extension at ``[init_len, seq_len)`` of
         each task's region in ``seq_buf``; everything else (the contig
-        tails and unused capacity) never crosses the bus.
+        tails and unused capacity) never crosses the bus.  ``[lo, hi)``
+        restricts the copy to one sub-batch of a fused wave (the byte
+        totals match the unfused per-batch copies exactly).
         """
+        if hi is None:
+            hi = batch.n_tasks
         regions = [
             (
                 int(batch.seq_offsets[j]) + int(staged.seq_len_host[j]),
                 int(batch.seq_offsets[j]) + int(batch.seq_len[j]),
             )
-            for j in range(batch.n_tasks)
+            for j in range(lo, hi)
         ]
         spans, ev_spans = ctx.from_device_regions_async(
             batch.seq_buf, regions, copy_stream,
             f"D2H ext {label}", (ev_kernel,),
         )
-        _, ev_len = ctx.from_device_async(
-            batch.out_ext_len, copy_stream, f"D2H ext_len {label}", (ev_kernel,)
-        )
+        if lo == 0 and hi == batch.n_tasks:
+            _, ev_len = ctx.from_device_async(
+                batch.out_ext_len, copy_stream, f"D2H ext_len {label}", (ev_kernel,)
+            )
+        else:
+            _, ev_len = ctx.from_device_regions_async(
+                batch.out_ext_len, [(lo, hi)], copy_stream,
+                f"D2H ext_len {label}", (ev_kernel,),
+            )
         with ctx.timeline.host_slice(
             f"unpack {label}", _DRIVE_LANE, deps=(ev_spans, ev_len)
         ):
-            for j, task in enumerate(batch.tasks):
-                extensions[(task.cid, task.side)] = decode(spans[j])
+            for j in range(lo, hi):
+                task = batch.tasks[j]
+                extensions[(task.cid, task.side)] = decode(spans[j - lo])
 
 
 def _split_even(ids: list[int], parts: int) -> list[list[int]]:
@@ -437,3 +611,17 @@ def _split_even(ids: list[int], parts: int) -> list[list[int]]:
     parts = min(parts, len(ids))
     bounds = np.linspace(0, len(ids), parts + 1).astype(int)
     return [ids[a:b] for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def _plan_waves(work, wave_size: int) -> list[list[int]]:
+    """Group consecutive same-bin rows of *work* into waves of up to
+    *wave_size* (the fused-dispatch units; 1 = per-batch dispatch)."""
+    waves: list[list[int]] = []
+    i = 0
+    while i < len(work):
+        j = i
+        while j < len(work) and work[j][0] == work[i][0] and j - i < wave_size:
+            j += 1
+        waves.append(list(range(i, j)))
+        i = j
+    return waves

@@ -44,8 +44,12 @@ import numpy as np
 from repro.core.extension import KShiftState, WalkStatus, kshift_next
 from repro.core.extension_kernel import _hash_cost_ops, extension_task_kernel_v2
 from repro.core.gpu_batch import EMPTY_PTR, DeviceBatch
-from repro.gpusim.batched import BatchCounters, WarpBatch, register_batched
-from repro.gpusim.counters import KernelCounters
+from repro.gpusim.batched import (
+    BatchCounters,
+    WarpBatch,
+    cached_arange,
+    register_batched,
+)
 from repro.hashing.murmur import murmurhash2_rows
 
 __all__ = ["run_extension_v2_batched"]
@@ -78,10 +82,10 @@ def _warp_build_stream(batch: DeviceBatch, t: int, k: int):
     nk = nk_all[keep]
     m = int(nk.sum())
     cum = np.cumsum(nk) - nk
-    local = np.arange(m, dtype=np.int64) - np.repeat(cum, nk)
+    local = cached_arange(m) - np.repeat(cum, nk)
     starts = np.repeat(rb, nk) + local  # flat k-mer start pointers
     rdata = batch.reads_buf.data
-    win = rdata[starts[:, None] + np.arange(k)]
+    win = rdata[starts[:, None] + cached_arange(k)]
     ext = rdata[starts + k].astype(np.int64)
     hi = batch.quals_buf.data[starts + k] >= cfg.hi_q_thresh
     valid = (ext < 4) & ~(win >= 4).any(axis=1)
@@ -101,7 +105,7 @@ def _warp_build_stream(batch: DeviceBatch, t: int, k: int):
         out[pos] = a
         return out.reshape(tot_steps, _LANES)
 
-    step_idx = np.arange(tot_steps, dtype=np.int64) - np.repeat(step_off, n_steps)
+    step_idx = cached_arange(tot_steps) - np.repeat(step_off, n_steps)
     load_start = np.repeat(rb, n_steps) + _LANES * step_idx
     acts = np.full(tot_steps, _LANES, dtype=np.int64)
     last = step_off + n_steps - 1
@@ -153,7 +157,7 @@ def _probe_insert_group(
     pending = valid.copy()
     off = np.zeros(pending.shape, dtype=np.int64)
     rbuf = batch.reads_buf.data
-    ar_k = np.arange(k)
+    ar_k = cached_arange(k)
     while True:
         pcnt_all = pending.sum(axis=1)
         a = np.nonzero(pcnt_all)[0]
@@ -238,7 +242,7 @@ def _build_group(wb: WarpBatch, batch: DeviceBatch, rows, tasks_g, k: int, ht_st
         H_all[i, :ns], E_all[i, :ns], Q_all[i, :ns], V_all[i, :ns] = s[:4]
         start_all[i, :ns] = s[4]
         act_all[i, :ns] = s[5]
-    lanes = np.arange(_LANES)
+    lanes = cached_arange(_LANES)
     hops = _hash_cost_ops(k)
     for step in range(max_steps):
         sel = np.nonzero(n_steps > step)[0]
@@ -293,8 +297,8 @@ def _walk_group(
         walking[short] = False
     hops = _hash_cost_ops(k)
     key_words = (k + 7) // 8
-    ar_k = np.arange(k)
-    ar_4 = np.arange(4)
+    ar_k = cached_arange(k)
+    ar_4 = cached_arange(4)
     for _ in range(cfg.max_walk_len):
         wloc = np.nonzero(walking)[0]
         if wloc.size == 0:
@@ -423,28 +427,28 @@ def _walk_group(
 
 def run_extension_v2_batched(
     n_warps: int, sector_bytes: int, batch: DeviceBatch, task_ids
-) -> tuple[KernelCounters, list[int]]:
+) -> BatchCounters:
     """Run a whole v2 extension launch as one batched SoA computation.
 
     The batched counterpart of driving
     :func:`~repro.core.extension_kernel.extension_task_kernel_v2` once per
-    warp; returns the merged counters and per-warp instruction counts,
-    bit-identical to the sequential launch loop.
+    warp; returns the per-warp :class:`BatchCounters`, which finalize to
+    counters bit-identical to the sequential launch loop (and split
+    exactly at any warp boundary — the fused-dispatch contract).
     """
     cfg = batch.config
     counters = BatchCounters(n_warps)
     wb = WarpBatch(counters, sector_bytes)
     t_arr = np.asarray(task_ids, dtype=np.int64)[:n_warps]
-    rows_all = np.arange(n_warps)
+    rows_all = cached_arange(n_warps)
 
     wb.int_op(3, rows_all, _LANES)  # task metadata loads / setup
-    n_reads = np.array([batch.tasks[int(t)].n_reads for t in t_arr], dtype=np.int64)
-    regions = [batch.ht_region(int(t)) for t in t_arr]
-    ht_start = np.array([r[0] for r in regions], dtype=np.int64)
-    slots = np.array([r[1] - r[0] for r in regions], dtype=np.int64)
-    vis_start = np.array(
-        [batch.vis_region(int(t))[0] for t in t_arr], dtype=np.int64
+    n_reads = np.fromiter(
+        (batch.tasks[int(t)].n_reads for t in t_arr), np.int64, count=n_warps
     )
+    ht_start = batch.layout.offsets[t_arr]
+    slots = batch.layout.sizes[t_arr]
+    vis_start = t_arr * batch.vis_slots
     seq_off = np.asarray(batch.seq_offsets, dtype=np.int64)[t_arr]
     slen = np.asarray(batch.seq_len, dtype=np.int64)[t_arr].copy()
 
@@ -500,7 +504,7 @@ def run_extension_v2_batched(
     done = rows_all[~empty]
     if done.size:
         wb.store_lane0(batch.out_ext_len, t_arr[done], totals[done], done)
-    return counters.finalize()
+    return counters
 
 
 register_batched(extension_task_kernel_v2, run_extension_v2_batched)

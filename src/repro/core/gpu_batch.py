@@ -12,6 +12,22 @@ The driver packs a batch of extension tasks into flat device buffers
 * ``ht_ptr``/``ht_hi``/``ht_total`` — all per-task hash tables packed into
   single allocations, located through the ``ht_sizes`` prefix offsets;
 * ``vis_ptr`` — the per-task visited tables used for loop detection.
+
+Two host-path mechanisms keep the per-batch cost flat (the pinned-buffer
+discipline MetaCache-GPU style batching lives on):
+
+* a :class:`StagingArena` recycles the host staging arrays across batches
+  (grow-only, keyed by buffer role), so staging batch N+1 reuses batch
+  N-1's memory instead of reallocating;
+* a :class:`DeviceArena` recycles same-shape-class *device* allocations
+  across batches, so upload N+1 pays one memcpy instead of
+  alloc + memset + copy.  Buffers recycled through the arena skip the
+  host-side ``EMPTY_PTR`` memsets entirely: every kernel clears each
+  task's table/visited region at the start of every k-round
+  (``_clear_tables`` / ``_clear_group``), so the upload-time fill never
+  survives to a read.  The arena path is therefore reserved for
+  unsanitized runs; sanitized contexts keep the fill + ``mark_initialized``
+  contract so initcheck stays precise.
 """
 
 from __future__ import annotations
@@ -21,17 +37,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import LocalAssemblyConfig
-from repro.core.ht_sizing import HashTableLayout, plan_layout
+from repro.core.ht_sizing import HashTableLayout
 from repro.core.tasks import ExtensionTask
 from repro.gpusim.kernel import GpuContext
-from repro.gpusim.memory import DeviceArray
+from repro.gpusim.memory import DeviceArray, DeviceOutOfMemory
 
 __all__ = [
     "DeviceBatch",
     "StagedBatch",
+    "StagingArena",
+    "DeviceArena",
+    "LRUDict",
+    "WIN_CACHE_CAP",
     "max_rounds",
     "ext_capacity",
     "stage_batch",
+    "fuse_staged",
     "upload_batch",
     "pack_batch",
     "free_batch",
@@ -40,6 +61,46 @@ __all__ = [
 
 #: ht_ptr value marking an empty slot.
 EMPTY_PTR = np.int64(-1)
+
+#: bound on per-batch window-plan cache entries (see :class:`LRUDict`).
+WIN_CACHE_CAP = 4096
+
+
+class LRUDict(dict):
+    """A size-bounded dict evicting the least-recently-used entry.
+
+    Backs :attr:`DeviceBatch.win_cache`: a long mixed-length launch keys
+    the window-plan cache by ``(read index, k)`` across every k-shift
+    round, which is unbounded growth on adversarial workloads.  The LRU
+    bound keeps the batch's footprint flat while still serving the
+    build/walk locality that makes the cache worthwhile.
+    """
+
+    __slots__ = ("maxsize",)
+
+    def __init__(self, maxsize: int = WIN_CACHE_CAP) -> None:
+        super().__init__()
+        self.maxsize = int(maxsize)
+
+    def __getitem__(self, key):
+        value = super().pop(key)
+        super().__setitem__(key, value)  # refresh recency
+        return value
+
+    def get(self, key, default=None):
+        try:
+            value = super().pop(key)
+        except KeyError:
+            return default
+        super().__setitem__(key, value)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        if super().__contains__(key):
+            super().__delitem__(key)
+        elif len(self) >= self.maxsize:
+            super().__delitem__(next(iter(self)))  # oldest entry
+        super().__setitem__(key, value)
 
 
 def max_rounds(config: LocalAssemblyConfig) -> int:
@@ -94,8 +155,10 @@ class DeviceBatch:
 
     #: per-(read index, k) window-plan cache (see
     #: :func:`repro.core.extension_kernel.read_window_plan`) — valid for
-    #: the batch's lifetime because the packed reads are immutable.
-    win_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    #: the batch's lifetime because the packed reads are immutable;
+    #: LRU-bounded so long mixed-length launches cannot grow it without
+    #: limit.
+    win_cache: dict = field(default_factory=LRUDict, repr=False, compare=False)
 
     @property
     def n_tasks(self) -> int:
@@ -124,7 +187,7 @@ class DeviceBatch:
         state["tasks"] = [_TaskHeader(t.cid, t.side, t.n_reads) for t in self.tasks]
         # The window cache holds views into shared device buffers; shards
         # rebuild their own entries on demand.
-        state["win_cache"] = {}
+        state["win_cache"] = LRUDict()
         return state
 
     def __setstate__(self, state) -> None:
@@ -147,7 +210,13 @@ class StagedBatch:
 
     This is the unit the overlapped driver's stager thread produces
     (the pinned-host-buffer analogue): staging batch N+1 is real host
-    work that runs while the engine executes batch N.
+    work that runs while the engine executes batch N.  When built
+    through a :class:`StagingArena`, the upload-consumed arrays
+    (``reads_host``/``quals_host``/``seq_host``) are views into the
+    arena's recycled buffers — valid until the arena slot is reused (the
+    driver sizes its arena ring accordingly).  The metadata arrays
+    (offsets, ``seq_len_host``) are always fresh: they outlive staging
+    inside the :class:`DeviceBatch`.
     """
 
     tasks: list[ExtensionTask]
@@ -170,47 +239,119 @@ class StagedBatch:
         return len(self.tasks)
 
 
+class StagingArena:
+    """Reusable host staging buffers, grow-only per buffer role.
+
+    ``take`` hands out a view of a persistent backing buffer instead of a
+    fresh allocation; the caller owns the view until it asks for the same
+    role again.  The overlapped driver keeps a ring of ``2·prefetch + 3``
+    arenas so a staged batch's arrays stay valid from staging through the
+    consumer's wave buffer and upload while later batches stage into
+    other slots.
+    """
+
+    def __init__(self) -> None:
+        self._bufs: dict[tuple, np.ndarray] = {}
+
+    def take(self, role: str, n: int, dtype, zero: bool = False) -> np.ndarray:
+        key = (role, np.dtype(dtype).str)
+        buf = self._bufs.get(key)
+        if buf is None or buf.size < n:
+            grown = 0 if buf is None else buf.size * 2
+            buf = np.empty(max(int(n), grown, 64), dtype=dtype)
+            self._bufs[key] = buf
+        out = buf[: int(n)]
+        if zero:
+            out.fill(0)
+        return out
+
+
+def _fused_layout(task_bases: np.ndarray) -> HashTableLayout:
+    """A :class:`HashTableLayout` from precomputed per-task read bases —
+    same values as :func:`~repro.core.ht_sizing.plan_layout`, without the
+    per-task Python property walk."""
+    sizes = np.maximum(task_bases, 1).astype(np.int64, copy=False)
+    offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return HashTableLayout(sizes=sizes, offsets=offsets)
+
+
 def stage_batch(
     tasks: list[ExtensionTask],
     config: LocalAssemblyConfig,
+    arena: StagingArena | None = None,
 ) -> StagedBatch:
-    """Pack *tasks* into flat host staging arrays (no device traffic)."""
-    # reads
-    all_reads = [r for t in tasks for r in t.reads]
-    all_quals = [q for t in tasks for q in t.quals]
-    read_lengths = np.fromiter(
-        (r.size for r in all_reads), dtype=np.int64, count=len(all_reads)
-    )
-    read_offsets = np.zeros(len(all_reads) + 1, dtype=np.int64)
-    np.cumsum(read_lengths, out=read_offsets[1:])
-    reads_host = (
-        np.concatenate(all_reads) if all_reads else np.empty(0, dtype=np.uint8)
-    )
-    quals_host = (
-        np.concatenate(all_quals) if all_quals else np.empty(0, dtype=np.uint8)
-    )
-    task_read_start = np.zeros(len(tasks) + 1, dtype=np.int64)
-    np.cumsum(
-        np.fromiter((t.n_reads for t in tasks), dtype=np.int64, count=len(tasks)),
-        out=task_read_start[1:],
-    )
+    """Pack *tasks* into flat host staging arrays (no device traffic).
 
-    # sequence buffers
+    The packing is bulk NumPy end to end: per-task read blocks come from
+    the tasks' pack-once caches (:meth:`ExtensionTask.packed_reads`) and
+    concatenate in one pass, and the contig tails land in ``seq_host``
+    through one precomputed gather/scatter instead of a per-task copy
+    loop.  With *arena* given, every output array is a view into the
+    arena's recycled buffers.
+    """
+    n = len(tasks)
+    packed = [t.packed_reads() for t in tasks]
+    n_reads_per_task = np.fromiter(
+        (p[2].size for p in packed), dtype=np.int64, count=n
+    )
+    n_reads = int(n_reads_per_task.sum())
+
+    def _take(role, size, dtype, zero=False):
+        if arena is not None:
+            return arena.take(role, size, dtype, zero=zero)
+        return np.zeros(size, dtype=dtype) if zero else np.empty(size, dtype=dtype)
+
+    # Lifetime rule: the arena only backs arrays *consumed* by the upload
+    # (reads/quals/seq copies) or purely scratch (read_lengths).  The
+    # metadata arrays below are retained inside the DeviceBatch and read
+    # during kernel execution and unpacking — long after the arena slot
+    # may have been recycled for a later batch — so they are always fresh
+    # allocations (a few KB per batch).
+    task_read_start = np.empty(n + 1, dtype=np.int64)
+    task_read_start[0] = 0
+    np.cumsum(n_reads_per_task, out=task_read_start[1:])
+
+    read_lengths = _take("read_lengths", n_reads, np.int64)
+    for i, p in enumerate(packed):
+        read_lengths[task_read_start[i] : task_read_start[i + 1]] = p[2]
+    read_offsets = np.empty(n_reads + 1, dtype=np.int64)
+    read_offsets[0] = 0
+    np.cumsum(read_lengths, out=read_offsets[1:])
+    total_bases = int(read_offsets[-1])
+
+    reads_host = _take("reads", total_bases, np.uint8)
+    quals_host = _take("quals", total_bases, np.uint8)
+    if total_bases:
+        np.concatenate([p[0] for p in packed], out=reads_host)
+        np.concatenate([p[1] for p in packed], out=quals_host)
+    # per-task table sizes fall out of the same offsets (§3.2 sizing)
+    task_bases = read_offsets[task_read_start[1:]] - read_offsets[task_read_start[:-1]]
+
+    # sequence buffers: contig tails scattered in one bulk gather
     tail_cap = config.k_max
     e_cap = ext_capacity(config)
     per_task_seq = tail_cap + e_cap
-    seq_offsets = np.arange(len(tasks) + 1, dtype=np.int64) * per_task_seq
-    seq_host = np.zeros(len(tasks) * per_task_seq, dtype=np.uint8)
-    seq_len_host = np.zeros(len(tasks), dtype=np.int64)
-    for i, t in enumerate(tasks):
-        tail = t.contig[-tail_cap:]
-        seq_host[seq_offsets[i] : seq_offsets[i] + tail.size] = tail
-        seq_len_host[i] = tail.size
+    seq_offsets = np.arange(n + 1, dtype=np.int64) * per_task_seq
+    seq_host = _take("seq", n * per_task_seq, np.uint8, zero=True)
+    clen = np.fromiter((t.contig.size for t in tasks), dtype=np.int64, count=n)
+    tlen = np.minimum(clen, tail_cap)
+    seq_len_host = tlen.copy()
+    total_tail = int(tlen.sum())
+    if total_tail:
+        contigs_cat = np.concatenate([t.contig for t in tasks])
+        cend = np.cumsum(clen)
+        pos = np.arange(total_tail, dtype=np.int64) - np.repeat(
+            np.cumsum(tlen) - tlen, tlen
+        )
+        seq_host[np.repeat(seq_offsets[:-1], tlen) + pos] = contigs_cat[
+            np.repeat(cend - tlen, tlen) + pos
+        ]
 
     return StagedBatch(
         tasks=tasks,
         config=config,
-        layout=plan_layout(TaskListView(tasks)),
+        layout=_fused_layout(task_bases),
         reads_host=reads_host,
         quals_host=quals_host,
         read_offsets=read_offsets,
@@ -224,11 +365,122 @@ def stage_batch(
     )
 
 
+def fuse_staged(staged_list: list[StagedBatch]) -> StagedBatch:
+    """Concatenate several staged batches into one launch-ready batch.
+
+    The batched SoA engine runs every warp of a launch in lockstep, so a
+    wave of same-bin batches can dispatch as *one* sweep and pay the
+    per-launch Python overhead once — provided their staging arrays fuse
+    into a single coherent layout.  All inputs must share a config (the
+    driver only fuses batches from one plan).  Because every per-task
+    region is located through offsets, fusing is pure rebasing: read and
+    base offsets shift by the running totals, sequence regions are
+    already fixed-stride, and the hash-table layout re-chains from the
+    concatenated sizes.  The outputs are fresh arrays (``concatenate``
+    copies), so the inputs' arena slots are free to recycle afterwards.
+    """
+    if len(staged_list) == 1:
+        return staged_list[0]
+    first = staged_list[0]
+    tasks = [t for s in staged_list for t in s.tasks]
+    n = len(tasks)
+
+    zero = np.zeros(1, dtype=np.int64)
+    ro_parts, trs_parts = [zero], [zero]
+    base_bases = 0
+    base_reads = 0
+    for s in staged_list:
+        ro_parts.append(s.read_offsets[1:] + base_bases)
+        trs_parts.append(s.task_read_start[1:] + base_reads)
+        base_bases += int(s.read_offsets[-1])
+        base_reads += int(s.task_read_start[-1])
+
+    per_task_seq = first.tail_cap + first.ext_cap
+    return StagedBatch(
+        tasks=tasks,
+        config=first.config,
+        layout=_fused_layout(np.concatenate([s.layout.sizes for s in staged_list])),
+        reads_host=np.concatenate([s.reads_host for s in staged_list]),
+        quals_host=np.concatenate([s.quals_host for s in staged_list]),
+        read_offsets=np.concatenate(ro_parts),
+        task_read_start=np.concatenate(trs_parts),
+        seq_host=np.concatenate([s.seq_host for s in staged_list]),
+        seq_offsets=np.arange(n + 1, dtype=np.int64) * per_task_seq,
+        seq_len_host=np.concatenate([s.seq_len_host for s in staged_list]),
+        tail_cap=first.tail_cap,
+        ext_cap=first.ext_cap,
+        vis_slots=first.vis_slots,
+    )
+
+
+class DeviceArena:
+    """Recycles same-shape-class device allocations across batches.
+
+    The pinned-buffer-pool analogue on the device side: ``free_batch``
+    parks a finished batch's buffers here instead of returning them to the
+    allocator, and the next batch's upload reuses any buffer whose role,
+    element count and dtype match exactly (so transfer accounting stays
+    byte-exact).  On a capacity miss the pool drains back to the
+    allocator and the allocation retries — recycling is an optimisation,
+    never a reason to OOM.
+    """
+
+    def __init__(self, ctx: GpuContext) -> None:
+        self.ctx = ctx
+        self._free: dict[tuple, list[DeviceArray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(role: str, n: int, dtype) -> tuple:
+        return (role, int(n), np.dtype(dtype).str)
+
+    def alloc(self, role: str, n: int, dtype) -> DeviceArray:
+        pool = self._free.get(self._key(role, n, dtype))
+        if pool:
+            self.hits += 1
+            return pool.pop()
+        self.misses += 1
+        try:
+            return self.ctx.alloc(int(n), dtype)
+        except DeviceOutOfMemory:
+            self.drain()
+            return self.ctx.alloc(int(n), dtype)
+
+    def to_device_async(self, role, host, stream, name, deps):
+        """H2D into a recycled buffer when one fits, else a fresh upload."""
+        pool = self._free.get(self._key(role, host.size, host.dtype))
+        if pool:
+            self.hits += 1
+            darr = pool.pop()
+            done = self.ctx.upload_into_async(darr, host, stream, name, deps)
+            return darr, done
+        self.misses += 1
+        try:
+            return self.ctx.to_device_async(host, stream, name, deps)
+        except DeviceOutOfMemory:
+            self.drain()
+            return self.ctx.to_device_async(host, stream, name, deps)
+
+    def release(self, role: str, darr: DeviceArray) -> None:
+        self._free.setdefault(
+            self._key(role, darr.data.size, darr.data.dtype), []
+        ).append(darr)
+
+    def drain(self) -> None:
+        """Return every pooled buffer to the allocator."""
+        for pool in self._free.values():
+            for darr in pool:
+                self.ctx.allocator.free(darr)
+        self._free.clear()
+
+
 def upload_batch(
     ctx: GpuContext,
     staged: StagedBatch,
     stream=None,
     deps: tuple = (),
+    arena: DeviceArena | None = None,
 ):
     """Create device buffers for *staged* and copy the host data in.
 
@@ -237,11 +489,30 @@ def upload_batch(
     completion of the batch's H2D traffic on that stream.  Without one,
     the copies are the classic synchronous ``to_device`` calls and the
     return is just the :class:`DeviceBatch`.
+
+    With *arena* given (requires *stream*; unsanitized contexts only),
+    allocations recycle through the :class:`DeviceArena` and the
+    redundant ``EMPTY_PTR`` memsets of ``ht_ptr``/``vis_ptr`` are
+    skipped: every kernel re-clears each task's regions at the start of
+    every k-round, so the fill is never observable.  Data buffers and
+    outputs stay byte-identical to the non-arena path.
     """
     tasks = staged.tasks
     total_slots = staged.layout.total_slots
 
-    if stream is not None:
+    if arena is not None:
+        if stream is None:
+            raise ValueError("arena-backed upload_batch requires a stream")
+        reads_buf, _ = arena.to_device_async(
+            "reads", staged.reads_host, stream, "H2D reads", deps
+        )
+        quals_buf, _ = arena.to_device_async(
+            "quals", staged.quals_host, stream, "H2D quals", deps
+        )
+        seq_buf, done = arena.to_device_async(
+            "seq", staged.seq_host, stream, "H2D seq", deps
+        )
+    elif stream is not None:
         reads_buf, _ = ctx.to_device_async(
             staged.reads_host, stream, "H2D reads", deps
         )
@@ -260,15 +531,23 @@ def upload_batch(
     # context so worker shards of a parallel launch see the writes too.
     seq_len = ctx.host_array(len(tasks), np.int64)
     seq_len[...] = staged.seq_len_host
-    ht_ptr = ctx.alloc(total_slots, np.int64)
-    ht_ptr.data[...] = EMPTY_PTR
-    ctx.mark_initialized(ht_ptr)  # host-side memset (a cudaMemset analogue)
-    ht_hi = ctx.alloc(total_slots * 4, np.uint32)
-    ht_total = ctx.alloc(total_slots * 4, np.uint32)
-    vis_ptr = ctx.alloc(len(tasks) * staged.vis_slots, np.int64)
-    vis_ptr.data[...] = EMPTY_PTR
-    ctx.mark_initialized(vis_ptr)
-    out_ext_len = ctx.alloc(max(len(tasks), 1), np.int32)
+    if arena is not None:
+        ht_ptr = arena.alloc("ht_ptr", total_slots, np.int64)
+        ht_hi = arena.alloc("ht_hi", total_slots * 4, np.uint32)
+        ht_total = arena.alloc("ht_total", total_slots * 4, np.uint32)
+        vis_ptr = arena.alloc("vis_ptr", len(tasks) * staged.vis_slots, np.int64)
+        out_ext_len = arena.alloc("out_ext_len", max(len(tasks), 1), np.int32)
+        out_ext_len.data.fill(0)  # deterministic output buffer
+    else:
+        ht_ptr = ctx.alloc(total_slots, np.int64)
+        ht_ptr.data[...] = EMPTY_PTR
+        ctx.mark_initialized(ht_ptr)  # host-side memset (a cudaMemset analogue)
+        ht_hi = ctx.alloc(total_slots * 4, np.uint32)
+        ht_total = ctx.alloc(total_slots * 4, np.uint32)
+        vis_ptr = ctx.alloc(len(tasks) * staged.vis_slots, np.int64)
+        vis_ptr.data[...] = EMPTY_PTR
+        ctx.mark_initialized(vis_ptr)
+        out_ext_len = ctx.alloc(max(len(tasks), 1), np.int32)
 
     batch = DeviceBatch(
         tasks=tasks,
@@ -308,19 +587,36 @@ def pack_batch(
     return upload_batch(ctx, stage_batch(tasks, config))
 
 
-def free_batch(ctx: GpuContext, batch: DeviceBatch) -> None:
+#: (attribute, arena role) pairs of a batch's device buffers.
+_BATCH_BUFFERS = (
+    ("reads_buf", "reads"),
+    ("quals_buf", "quals"),
+    ("seq_buf", "seq"),
+    ("ht_ptr", "ht_ptr"),
+    ("ht_hi", "ht_hi"),
+    ("ht_total", "ht_total"),
+    ("vis_ptr", "vis_ptr"),
+    ("out_ext_len", "out_ext_len"),
+)
+
+
+def free_batch(
+    ctx: GpuContext, batch: DeviceBatch, arena: DeviceArena | None = None
+) -> None:
     """Release all of *batch*'s device allocations.
 
     The overlapped driver frees batch N this way once its extensions are
     unpacked (instead of the serial driver's whole-allocator ``reset``),
-    so batch N+1's buffers can already be resident.
+    so batch N+1's buffers can already be resident.  With *arena* given
+    the buffers park in the recycling pool instead of going back to the
+    allocator.
     """
-    for darr in (
-        batch.reads_buf, batch.quals_buf, batch.seq_buf,
-        batch.ht_ptr, batch.ht_hi, batch.ht_total,
-        batch.vis_ptr, batch.out_ext_len,
-    ):
-        ctx.allocator.free(darr)
+    for attr, role in _BATCH_BUFFERS:
+        darr = getattr(batch, attr)
+        if arena is not None:
+            arena.release(role, darr)
+        else:
+            ctx.allocator.free(darr)
 
 
 class TaskListView:

@@ -50,6 +50,8 @@ def extend_tasks(
     overlap: str = "off",
     prefetch: int = 1,
     streams: int = 2,
+    batch_cap: int | None = None,
+    profile_host: bool = False,
 ) -> tuple[dict[tuple[int, int], str], LocalAssemblyReport]:
     """Run local assembly over a prepared task set.
 
@@ -81,6 +83,8 @@ def extend_tasks(
             overlap=overlap,
             prefetch=prefetch,
             streams=streams,
+            batch_cap=batch_cap,
+            profile_host=profile_host,
         )
         gpu = assembler.run(tasks)
         wall = time.perf_counter() - t0
@@ -109,6 +113,8 @@ def extend_contigs(
     overlap: str = "off",
     prefetch: int = 1,
     streams: int = 2,
+    batch_cap: int | None = None,
+    profile_host: bool = False,
 ) -> tuple["ContigSet", LocalAssemblyReport]:
     """Extend a contig set using per-contig candidate reads.
 
@@ -134,6 +140,8 @@ def extend_contigs(
         overlap=overlap,
         prefetch=prefetch,
         streams=streams,
+        batch_cap=batch_cap,
+        profile_host=profile_host,
     )
     final = apply_extensions(contig_seqs, extensions)
     out = ContigSet(

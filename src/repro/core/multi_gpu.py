@@ -104,6 +104,8 @@ class NodeLocalAssembler:
         overlap: str = "off",
         prefetch: int = 1,
         streams: int = 2,
+        batch_cap: int | None = None,
+        profile_host: bool = False,
     ) -> None:
         if n_gpus < 1:
             raise ValueError("need at least one GPU")
@@ -117,6 +119,8 @@ class NodeLocalAssembler:
         self.overlap = overlap
         self.prefetch = prefetch
         self.streams = streams
+        self.batch_cap = batch_cap
+        self.profile_host = profile_host
 
     def run(self, tasks: TaskSet) -> NodeLocalAssemblyReport:
         groups = partition_tasks_by_work(tasks, self.n_gpus)
@@ -133,6 +137,8 @@ class NodeLocalAssembler:
                 overlap=self.overlap,
                 prefetch=self.prefetch,
                 streams=self.streams,
+                batch_cap=self.batch_cap,
+                profile_host=self.profile_host,
             )
             report = assembler.run(TaskSet([tasks[i] for i in group]))
             extensions.update(report.extensions)

@@ -56,6 +56,34 @@ class ExtensionTask:
     def n_reads(self) -> int:
         return len(self.reads)
 
+    def packed_reads(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(reads_cat, quals_cat, lengths)`` — the task's candidate reads
+        flattened into contiguous arrays, computed once and cached.
+
+        Staging a batch is then a concatenation of per-*task* blocks
+        instead of per-*read* arrays (the MHM2-style pack-once layout);
+        the cache is sound because tasks are frozen and their read arrays
+        are never mutated.
+        """
+        cached = self.__dict__.get("_packed_reads")
+        if cached is None:
+            lengths = np.fromiter(
+                (r.size for r in self.reads), np.int64, count=len(self.reads)
+            )
+            reads_cat = (
+                np.concatenate(self.reads)
+                if self.reads
+                else np.empty(0, dtype=np.uint8)
+            )
+            quals_cat = (
+                np.concatenate(self.quals)
+                if self.quals
+                else np.empty(0, dtype=np.uint8)
+            )
+            cached = (reads_cat, quals_cat, lengths)
+            object.__setattr__(self, "_packed_reads", cached)
+        return cached
+
     @property
     def total_read_bases(self) -> int:
         return int(sum(r.size for r in self.reads))

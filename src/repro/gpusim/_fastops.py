@@ -1,0 +1,74 @@
+"""Optional compiled lane for the batched engine's hottest helpers.
+
+The batched SoA engine spends its host time in a handful of tiny
+primitives — run-head detection over sorted key arrays is the one every
+transaction-dedup path shares (``_per_group_unique``,
+``_sorted_transactions``, the atomic duplicate grouping).  When numba is
+importable the primitives compile to machine loops; otherwise the
+pure-NumPy forms below serve, selected once at import time so the hot
+path never branches.
+
+Toggle with ``REPRO_NUMBA``:
+
+* ``auto`` (default) — use numba when importable, NumPy otherwise;
+* ``0`` / ``off`` / ``false`` — never import numba;
+* ``1`` / ``on`` / ``true`` — require numba (ImportError if missing), for
+  CI jobs that want to pin the compiled lane.
+
+``HAVE_NUMBA`` reports which lane was selected.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "run_heads", "run_head_positions"]
+
+_TOGGLE = os.environ.get("REPRO_NUMBA", "auto").strip().lower()
+
+HAVE_NUMBA = False
+if _TOGGLE not in ("0", "off", "false", "no"):
+    try:
+        import numba  # noqa: F401
+
+        HAVE_NUMBA = True
+    except ImportError:
+        if _TOGGLE in ("1", "on", "true", "yes"):
+            raise ImportError(
+                "REPRO_NUMBA=1 requires numba, which is not importable"
+            )
+
+
+def _run_heads_numpy(keys: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first element of each run in sorted *keys*."""
+    head = np.empty(keys.size, dtype=np.bool_)
+    if keys.size:
+        head[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=head[1:])
+    return head
+
+
+if HAVE_NUMBA:
+    from numba import njit
+
+    @njit(cache=True)
+    def _run_heads_numba(keys):  # pragma: no cover - requires numba
+        n = keys.size
+        head = np.empty(n, dtype=np.bool_)
+        if n:
+            head[0] = True
+            for i in range(1, n):
+                head[i] = keys[i] != keys[i - 1]
+        return head
+
+    run_heads = _run_heads_numba
+else:
+    run_heads = _run_heads_numpy
+
+
+def run_head_positions(keys: np.ndarray) -> np.ndarray:
+    """Indices of run starts in sorted *keys* (``nonzero`` of
+    :func:`run_heads`, the shape the atomic grouping wants)."""
+    return np.nonzero(run_heads(keys))[0]

@@ -34,10 +34,12 @@ kernel function via :func:`register_batched`;
 
 from __future__ import annotations
 
+from dataclasses import fields
 from typing import Callable
 
 import numpy as np
 
+from repro.gpusim._fastops import run_heads
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import WARP_SIZE
 from repro.gpusim.memory import DeviceArray, DeviceFreeError
@@ -48,6 +50,7 @@ __all__ = [
     "register_batched",
     "batched_impl",
     "set_active_sanitizer",
+    "cached_arange",
 ]
 
 #: sanitizer picked up by WarpBatch instances created inside a batched
@@ -69,8 +72,32 @@ _KEY_BASE = np.int64(1) << 45
 
 #: batched-kernel registry: sequential kernel fn -> batched implementation
 #: with signature ``impl(n_warps, sector_bytes, *launch_args)`` returning
-#: ``(KernelCounters, per_warp_inst list)``.
+#: a :class:`BatchCounters` (or, legacy form, an already-finalized
+#: ``(KernelCounters, per_warp_inst list)`` tuple).
 _BATCHED_IMPLS: dict[Callable, Callable] = {}
+
+#: the per-warp counter fields, computed once (dataclasses.fields per
+#: BatchCounters construction showed up in the dispatch profile).
+_COUNTER_NAMES = tuple(
+    f.name
+    for f in fields(KernelCounters)
+    if f.name not in ("labels", "n_warps_launched")
+)
+
+#: read-only ``np.arange`` cache for the per-op word/lane index vectors —
+#: the hot ops rebuild identical aranges thousands of times per sweep.
+_ARANGES: dict[int, np.ndarray] = {}
+
+
+def cached_arange(n: int) -> np.ndarray:
+    """``np.arange(n, dtype=int64)``, cached and **read-only** — callers
+    must never mutate the returned array."""
+    a = _ARANGES.get(n)
+    if a is None:
+        a = np.arange(n, dtype=np.int64)
+        a.setflags(write=False)
+        _ARANGES[n] = a
+    return a
 
 
 def register_batched(kernel_fn: Callable, impl: Callable) -> None:
@@ -95,9 +122,7 @@ def _per_group_unique(n_groups: int, groups: np.ndarray, values: np.ndarray) -> 
         return np.zeros(n_groups, dtype=np.int64)
     keys = groups.astype(np.int64) * _KEY_BASE + values
     keys.sort()
-    head = np.empty(keys.size, dtype=bool)
-    head[0] = True
-    np.not_equal(keys[1:], keys[:-1], out=head[1:])
+    head = run_heads(keys)
     return np.bincount(
         (keys[head] // _KEY_BASE).astype(np.intp, copy=False), minlength=n_groups
     ).astype(np.int64, copy=False)
@@ -120,15 +145,10 @@ class BatchCounters:
     sequential interpreter would have produced warp by warp.
     """
 
-    def __init__(self, n_warps: int) -> None:
-        from dataclasses import fields
+    _names = _COUNTER_NAMES
 
+    def __init__(self, n_warps: int) -> None:
         self.n_warps = int(n_warps)
-        self._names = [
-            f.name
-            for f in fields(KernelCounters)
-            if f.name not in ("labels", "n_warps_launched")
-        ]
         for name in self._names:
             setattr(self, name, np.zeros(self.n_warps, dtype=np.int64))
         #: the only label the kernels emit; zero totals are dropped at
@@ -136,11 +156,21 @@ class BatchCounters:
         self.atomic_conflicts = np.zeros(self.n_warps, dtype=np.int64)
 
     def finalize(self) -> tuple[KernelCounters, list[int]]:
+        return self.finalize_range(0, self.n_warps)
+
+    def finalize_range(self, lo: int, hi: int) -> tuple[KernelCounters, list[int]]:
+        """Collapse warps ``[lo, hi)`` to one counter set + per-warp list.
+
+        Sound because every WarpBatch accounting formula is *row-local*:
+        a warp's issue/transaction counts depend only on its own rows'
+        data, so the counters of a fused multi-batch sweep split exactly
+        into the per-batch counters the unfused launches would report.
+        """
         counters = KernelCounters.from_per_warp(
-            {name: getattr(self, name) for name in self._names},
-            labels={"atomic_conflicts": self.atomic_conflicts},
+            {name: getattr(self, name)[lo:hi] for name in self._names},
+            labels={"atomic_conflicts": self.atomic_conflicts[lo:hi]},
         )
-        per_warp = [int(v) for v in self.warp_inst]
+        per_warp = [int(v) for v in self.warp_inst[lo:hi]]
         return counters, per_warp
 
 
@@ -468,7 +498,7 @@ class WarpBatch:
                 np.asarray(rows)[rloc], cloc, op="gather_span",
             )
         addrs = darr.base_addr + starts[mask].astype(np.int64)
-        w = np.arange(n_words, dtype=np.int64)
+        w = cached_arange(n_words)
         word_addrs = addrs[:, None] + word_bytes * w[None, :]
         word_len = np.minimum(word_bytes, nbytes - word_bytes * w)
         first = word_addrs // self.sector_bytes
@@ -568,7 +598,7 @@ class WarpBatch:
                 np.asarray(rows), 0, op="gather_span_lane0",
             )
         addrs = darr.base_addr + np.asarray(starts, dtype=np.int64)
-        w = np.arange(n_words, dtype=np.int64)
+        w = cached_arange(n_words)
         word_addrs = addrs[:, None] + word_bytes * w[None, :]
         word_len = np.minimum(word_bytes, nbytes - word_bytes * w)
         first = word_addrs // self.sector_bytes

@@ -16,6 +16,7 @@ the log of launches, playing the role of a CUDA stream + profiler.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -62,6 +63,10 @@ class LaunchResult:
     bin: str = ""
     #: ... and the kernel variant that ran ("v1"/"v2", "" if n/a).
     kernel: str = ""
+    #: real host seconds spent driving the simulated kernel (the engine
+    #: sweep), for the host-path profiler.  In a fused launch the sweep
+    #: time is attributed to the fused sub-launches pro rata by warps.
+    host_dispatch_s: float = 0.0
 
     def warp_imbalance(self) -> float:
         """max/mean per-warp instructions (1.0 = perfectly balanced)."""
@@ -231,6 +236,24 @@ class GpuContext:
         done = self.timeline.push(stream, name, "h2d", t, deps, darr.nbytes)
         return darr, done
 
+    def upload_into_async(
+        self, darr: DeviceArray, host_array, stream: Stream,
+        name: str = "H2D", deps: tuple = (),
+    ) -> Event:
+        """Async host→device copy into an *existing* device buffer (the
+        arena-recycling path): same bytes on the bus as
+        :meth:`to_device_async`, no allocation."""
+        if darr.data.size != np.asarray(host_array).size:
+            raise ValueError(
+                f"upload_into_async size mismatch: device {darr.data.size} "
+                f"vs host {np.asarray(host_array).size}"
+            )
+        darr.data[...] = host_array
+        t = self._account_transfer(darr.nbytes, "h2d")
+        if self.sanitizer is not None:
+            self.sanitizer.mark_initialized(darr)
+        return self.timeline.push(stream, name, "h2d", t, deps, darr.nbytes)
+
     def from_device_async(
         self, darr: DeviceArray, stream: Stream, name: str = "D2H",
         deps: tuple = (),
@@ -333,21 +356,20 @@ class GpuContext:
             from repro.gpusim.batched import batched_impl
 
             batched = batched_impl(kernel_fn)
+        t0 = time.perf_counter()
         if batched is not None:
             if self.sanitizer is not None:
                 from repro.gpusim.batched import set_active_sanitizer
 
                 set_active_sanitizer(self.sanitizer)
                 try:
-                    counters, per_warp = batched(
-                        n_warps, self.device.sector_bytes, *args
-                    )
+                    ret = batched(n_warps, self.device.sector_bytes, *args)
                 finally:
                     set_active_sanitizer(None)
             else:
-                counters, per_warp = batched(
-                    n_warps, self.device.sector_bytes, *args
-                )
+                ret = batched(n_warps, self.device.sector_bytes, *args)
+            # impls return BatchCounters (or, legacy, a finalized tuple)
+            counters, per_warp = ret if isinstance(ret, tuple) else ret.finalize()
             counters.n_warps_launched = n_warps
         elif self._parallel(n_warps):
             for shard_counters, shard_per_warp in self.warp_engine.run(
@@ -366,6 +388,7 @@ class GpuContext:
                 )
                 kernel_fn(warp, warp_id, *args)
                 per_warp.append(counters.warp_inst - before)
+        dispatch_s = time.perf_counter() - t0
         timing = self.timing_model.kernel_timing(counters, n_warps)
         result = LaunchResult(
             name=name,
@@ -375,9 +398,74 @@ class GpuContext:
             per_warp_inst=tuple(per_warp),
             bin=bin_name,
             kernel=kernel_version,
+            host_dispatch_s=dispatch_s,
         )
         self.launches.append(result)
         return result
+
+    def launch_fused(
+        self,
+        name: str,
+        kernel_fn: KernelFn,
+        sub_warps: list[int],
+        *args,
+        bin_name: str = "",
+        kernel_version: str = "",
+    ) -> list[LaunchResult]:
+        """One batched sweep over several fused sub-batches, reported as
+        per-sub :class:`LaunchResult`\\ s.
+
+        ``sub_warps[i]`` is sub-batch *i*'s warp count; the fused launch
+        runs all ``sum(sub_warps)`` warps in one SoA sweep (paying the
+        per-op Python overhead once instead of once per sub-batch) and
+        splits the per-warp counters back into per-sub results.  Sound
+        because the batched engine's accounting is row-local (see
+        :meth:`~repro.gpusim.batched.BatchCounters.finalize_range`), so
+        each sub's counters — and modelled timing — are identical to the
+        unfused launches.
+
+        Requires a registered batched impl returning
+        :class:`~repro.gpusim.batched.BatchCounters` and an unsanitized
+        context (sanitized runs keep per-batch launches for precise
+        attribution).
+        """
+        from repro.gpusim.batched import BatchCounters, batched_impl
+
+        if self.sanitizer is not None:
+            raise RuntimeError("launch_fused requires sanitize='off'")
+        batched = batched_impl(kernel_fn)
+        if self.engine_mode != "batched" or batched is None:
+            raise RuntimeError(
+                f"launch_fused needs a batched impl for {name!r}"
+            )
+        n_total = int(sum(sub_warps))
+        t0 = time.perf_counter()
+        ret = batched(n_total, self.device.sector_bytes, *args)
+        dispatch_s = time.perf_counter() - t0
+        if not isinstance(ret, BatchCounters):
+            raise TypeError(
+                "launch_fused needs a BatchCounters-returning impl"
+            )
+        results = []
+        lo = 0
+        for i, n_sub in enumerate(sub_warps):
+            hi = lo + int(n_sub)
+            counters, per_warp = ret.finalize_range(lo, hi)
+            counters.n_warps_launched = n_sub
+            result = LaunchResult(
+                name=f"{name}[{i}]" if len(sub_warps) > 1 else name,
+                n_warps=n_sub,
+                counters=counters,
+                timing=self.timing_model.kernel_timing(counters, n_sub),
+                per_warp_inst=tuple(per_warp),
+                bin=bin_name,
+                kernel=kernel_version,
+                host_dispatch_s=dispatch_s * n_sub / max(n_total, 1),
+            )
+            self.launches.append(result)
+            results.append(result)
+            lo = hi
+        return results
 
     # -- engine lifecycle --------------------------------------------------------
 

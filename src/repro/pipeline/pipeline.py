@@ -68,6 +68,10 @@ class PipelineConfig:
     local_assembly_prefetch: int = 1
     #: copy streams the overlapped driver round-robins batches across
     local_assembly_streams: int = 2
+    #: optional cap on tasks per GPU batch (None = memory-budget batching)
+    local_assembly_batch_cap: int | None = None
+    #: record per-phase host wall-clock timings on the GPU report
+    local_assembly_profile_host: bool = False
     # scaffolding
     insert_mean: float = 350.0
     #: estimate the insert size from same-contig pairs (MHM2 behaviour);
@@ -105,6 +109,11 @@ class PipelineConfig:
             raise ValueError("local_assembly_prefetch must be >= 1")
         if self.local_assembly_streams < 1:
             raise ValueError("local_assembly_streams must be >= 1")
+        if (
+            self.local_assembly_batch_cap is not None
+            and self.local_assembly_batch_cap < 1
+        ):
+            raise ValueError("local_assembly_batch_cap must be >= 1 (or None)")
 
 
 @dataclass
@@ -229,6 +238,8 @@ def run_pipeline(
             overlap=config.local_assembly_overlap,
             prefetch=config.local_assembly_prefetch,
             streams=config.local_assembly_streams,
+            batch_cap=config.local_assembly_batch_cap,
+            profile_host=config.local_assembly_profile_host,
         )
 
     scaffolds: ScaffoldingResult | None = None
