@@ -17,6 +17,11 @@ Commands
 ``lint``
     Static kernel-hygiene lint (twin parity, banned impure calls,
     discarded atomics) over the simulated-kernel source tree.
+``serve`` / ``submit`` / ``jobs`` / ``cancel``
+    The multi-tenant assembly job service: a daemon draining a durable
+    file-backed queue over a simulated GPU fleet, with admission
+    control, per-tenant memory budgets, checkpoint/resume and a result
+    cache (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -36,6 +41,35 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+_BYTE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def _byte_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (e.g. ``512M``)."""
+    raw = text.strip().lower().rstrip("b")
+    mult = 1
+    if raw and raw[-1] in _BYTE_SUFFIXES:
+        mult = _BYTE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * mult
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a byte size: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 byte, got {text!r}")
+    return value
+
+
+def _tenant_budget(text: str) -> tuple[str, int]:
+    """Parse a ``TENANT=BYTES`` budget assignment."""
+    tenant, sep, raw = text.partition("=")
+    if not sep or not tenant:
+        raise argparse.ArgumentTypeError(
+            f"expected TENANT=BYTES, got {text!r}"
+        )
+    return tenant, _byte_size(raw)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--batch-cap", type=_positive_int, default=None,
                      help="cap tasks per GPU batch (default: memory-budget "
                           "batching only)")
+    asm.add_argument("--mem-budget", type=_byte_size, default=None,
+                     help="device-memory budget the GPU driver batches "
+                          "under (bytes, K/M/G suffix ok; default: the "
+                          "device's full global memory)")
     asm.add_argument("--profile-host", action="store_true",
                      help="print per-phase host wall-clock timings "
                           "(stage/upload/dispatch/unpack/free) after the run")
@@ -134,6 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
     la.add_argument("--batch-cap", type=_positive_int, default=None,
                     help="cap tasks per GPU batch (default: memory-budget "
                          "batching only)")
+    la.add_argument("--mem-budget", type=_byte_size, default=None,
+                    help="device-memory budget the driver batches under "
+                         "(bytes, K/M/G suffix ok)")
     la.add_argument("--profile-host", action="store_true",
                     help="print per-phase host wall-clock timings "
                          "(stage/upload/dispatch/unpack/free) after the run")
@@ -144,6 +185,60 @@ def build_parser() -> argparse.ArgumentParser:
     sc = sub.add_parser("scale", help="Summit-scale projections")
     sc.add_argument("--dataset", choices=["wa", "arcticsynth"], default="wa")
     sc.add_argument("--nodes", type=int, nargs="+", default=None)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant assembly job service over a service dir",
+    )
+    srv.add_argument("--dir", type=Path, required=True, dest="service_dir",
+                     help="service directory (queue + cache + limits)")
+    srv.add_argument("--gpus", type=_positive_int, default=2,
+                     help="fleet size: concurrent jobs, one simulated GPU "
+                          "each")
+    srv.add_argument("--max-queued", type=_positive_int, default=64,
+                     help="admission control: maximum queued jobs before "
+                          "submissions are shed")
+    srv.add_argument("--default-mem-budget", type=_byte_size, default=None,
+                     help="per-job device-memory budget when the submission "
+                          "does not set one (bytes, K/M/G suffix ok)")
+    srv.add_argument("--tenant-budget", type=_tenant_budget, action="append",
+                     default=[], metavar="TENANT=BYTES",
+                     help="cap on device memory a tenant's running jobs may "
+                          "hold concurrently (repeatable)")
+    srv.add_argument("--poll", type=float, default=0.2,
+                     help="daemon poll interval in seconds")
+    srv.add_argument("--once", action="store_true",
+                     help="recover mid-flight jobs, drain the queue, exit "
+                          "(instead of serving forever)")
+
+    sm = sub.add_parser("submit", help="submit an assembly job to a service")
+    sm.add_argument("reads", type=Path, help="interleaved paired-end FASTQ(.gz)")
+    sm.add_argument("--dir", type=Path, required=True, dest="service_dir",
+                    help="service directory (shared with `repro serve`)")
+    sm.add_argument("--tenant", default="default", help="submitting tenant")
+    sm.add_argument("--k", type=int, nargs="+", default=None,
+                    help="k-mer series override")
+    sm.add_argument("--mode", choices=["cpu", "gpu"], default="gpu",
+                    help="local assembly implementation")
+    sm.add_argument("--engine", choices=ENGINE_MODES, default="auto",
+                    help="warp execution engine (gpu mode)")
+    sm.add_argument("--overlap", choices=OVERLAP_MODES, default="off",
+                    help="double-buffered GPU driver")
+    sm.add_argument("--no-scaffold", action="store_true")
+    sm.add_argument("--profile-host", action="store_true",
+                    help="include the host-path profile in the job report")
+    sm.add_argument("--mem-budget", type=_byte_size, default=None,
+                    help="device-memory budget for this job (bytes, K/M/G "
+                         "suffix ok)")
+
+    jb = sub.add_parser("jobs", help="list the jobs of a service directory")
+    jb.add_argument("--dir", type=Path, required=True, dest="service_dir")
+    jb.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the machine-readable job reports as JSON")
+
+    cn = sub.add_parser("cancel", help="cancel a queued or running job")
+    cn.add_argument("job_id", help="job id as printed by submit/jobs")
+    cn.add_argument("--dir", type=Path, required=True, dest="service_dir")
 
     ln = sub.add_parser("lint", help="static kernel-hygiene lint")
     ln.add_argument("paths", type=Path, nargs="*",
@@ -207,6 +302,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         local_assembly_prefetch=args.prefetch,
         local_assembly_streams=args.streams,
         local_assembly_batch_cap=args.batch_cap,
+        local_assembly_mem_budget=args.mem_budget,
         local_assembly_profile_host=args.profile_host,
         run_scaffolding=not args.no_scaffold,
     )
@@ -323,6 +419,7 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
         prefetch=args.prefetch,
         streams=args.streams,
         batch_cap=args.batch_cap,
+        mem_budget=args.mem_budget,
         profile_host=args.profile_host,
     )
     print(f"{report.n_extended} ends extended "
@@ -351,6 +448,123 @@ def _cmd_localassm(args: argparse.Namespace) -> int:
             print(g.sanitizer.summary())
             if not g.sanitizer.clean:
                 return 1
+    return 0
+
+
+def _service_config_from_args(args: argparse.Namespace):
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        n_gpus=args.gpus,
+        max_queued=args.max_queued,
+        default_mem_budget=args.default_mem_budget,
+        tenant_budgets=dict(args.tenant_budget),
+        poll_s=args.poll,
+    )
+
+
+def _format_jobs_table(jobs) -> str:
+    from repro.analysis import format_table
+
+    rows = []
+    for j in jobs:
+        wait = j.queue_wait_s()
+        rows.append((
+            j.job_id,
+            j.spec.tenant,
+            j.state.value,
+            j.attempt,
+            f"{wait:.2f}" if wait is not None else "-",
+            {True: "hit", False: "miss"}.get(j.metrics.get("cache_hit"), "-"),
+        ))
+    return format_table(
+        ["job", "tenant", "state", "attempt", "wait (s)", "cache"],
+        rows,
+        f"{len(jobs)} job(s)",
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import AssemblyService, JobState
+
+    with AssemblyService(
+        args.service_dir, config=_service_config_from_args(args)
+    ) as svc:
+        requeued = svc.recover()
+        if requeued:
+            print(f"recovered {len(requeued)} mid-flight job(s): "
+                  + ", ".join(j.job_id for j in requeued))
+        if args.once:
+            jobs = svc.drain()
+            print(_format_jobs_table(jobs))
+            cache = svc.cache.stats()
+            print(f"result cache: {cache['hits']} hit(s), "
+                  f"{cache['misses']} miss(es)")
+            return 1 if any(j.state is JobState.FAILED for j in jobs) else 0
+        try:
+            svc.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            print("shutting down")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import AdmissionError, AssemblyService
+
+    config: dict = {
+        "local_assembly_mode": args.mode,
+        "local_assembly_engine": args.engine,
+        "local_assembly_overlap": args.overlap,
+        "run_scaffolding": not args.no_scaffold,
+    }
+    if args.k is not None:
+        config["k_series"] = list(args.k)
+    if args.profile_host:
+        config["local_assembly_profile_host"] = True
+    with AssemblyService(args.service_dir) as svc:
+        try:
+            job = svc.submit(
+                args.reads,
+                tenant=args.tenant,
+                config=config,
+                mem_budget=args.mem_budget,
+            )
+        except AdmissionError as exc:
+            print(f"rejected: {exc}", file=sys.stderr)
+            return 3
+    print(job.job_id)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import JobQueue
+    from repro.service.service import job_report
+
+    queue = JobQueue(args.service_dir)
+    jobs = queue.jobs()
+    if args.as_json:
+        print(json.dumps([job_report(j) for j in jobs], indent=2))
+    else:
+        print(_format_jobs_table(jobs))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import JobQueue, JobState, UnknownJobError
+
+    queue = JobQueue(args.service_dir)
+    try:
+        job = queue.cancel(args.job_id)
+    except UnknownJobError:
+        print(f"error: no job {args.job_id!r} in {args.service_dir}",
+              file=sys.stderr)
+        return 2
+    if job.state is JobState.CANCELLED:
+        print(f"{job.job_id} cancelled")
+    elif job.terminal:
+        print(f"{job.job_id} already {job.state.value}")
+    else:
+        print(f"{job.job_id} cancellation requested ({job.state.value})")
     return 0
 
 
@@ -385,6 +599,10 @@ _COMMANDS = {
     "scale": _cmd_scale,
     "dump-localassm": _cmd_dump_localassm,
     "localassm": _cmd_localassm,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "cancel": _cmd_cancel,
     "lint": _cmd_lint,
 }
 

@@ -16,7 +16,11 @@ from repro.core.cpu_local_assembly import (
     TaskResult,
     run_local_assembly_cpu,
 )
-from repro.core.driver import GpuLocalAssembler, GpuLocalAssemblyReport
+from repro.core.driver import (
+    GpuLocalAssembler,
+    GpuLocalAssemblyReport,
+    shutdown_stager,
+)
 from repro.core.extension import (
     ExtCounts,
     KShiftState,
@@ -59,6 +63,7 @@ __all__ = [
     "run_local_assembly_cpu",
     "GpuLocalAssembler",
     "GpuLocalAssemblyReport",
+    "shutdown_stager",
     "ExtCounts",
     "KShiftState",
     "WalkStatus",

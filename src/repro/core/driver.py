@@ -83,7 +83,7 @@ from repro.gpusim.kernel import (
 from repro.perf import HostProfiler
 from repro.sequence.dna import decode
 
-__all__ = ["GpuLocalAssemblyReport", "GpuLocalAssembler"]
+__all__ = ["GpuLocalAssemblyReport", "GpuLocalAssembler", "shutdown_stager"]
 
 _KERNELS = {
     "v1": extension_task_kernel_v1,
@@ -108,6 +108,21 @@ def _stager_executor() -> ThreadPoolExecutor:
                 max_workers=1, thread_name_prefix="repro-stager"
             )
         return _STAGER
+
+
+def shutdown_stager(wait: bool = True) -> None:
+    """Idempotently shut down the process-wide stager executor.
+
+    Long-lived processes (the job service's lifecycle, test harnesses)
+    call this when they are done running overlapped drivers; the next
+    overlapped run after a shutdown lazily recreates the executor.
+    Calling it with no executor alive is a no-op.
+    """
+    global _STAGER
+    with _STAGER_LOCK:
+        stager, _STAGER = _STAGER, None
+    if stager is not None:
+        stager.shutdown(wait=wait)
 
 
 @dataclass
@@ -235,6 +250,12 @@ class GpuLocalAssembler:
         Optional cap on tasks per batch (a batching quantum).  Applied on
         top of the memory-budget batching in *both* overlap modes, so
         serial and overlapped runs compare on identical batch schedules.
+    mem_budget:
+        Optional device-memory budget in bytes the driver batches under,
+        capped at the device's global memory.  The job service uses this
+        to enforce per-tenant memory budgets: a budgeted run packs fewer
+        tasks per batch instead of claiming the whole device.  Results
+        stay bit-identical; only the batch schedule changes.
     profile_host:
         Record per-phase host wall-clock timings
         (:class:`~repro.perf.HostProfiler`) on
@@ -253,6 +274,7 @@ class GpuLocalAssembler:
         prefetch: int = 1,
         streams: int = 2,
         batch_cap: int | None = None,
+        mem_budget: int | None = None,
         profile_host: bool = False,
     ) -> None:
         if kernel_version not in _KERNELS:
@@ -269,6 +291,8 @@ class GpuLocalAssembler:
             raise ValueError("streams must be >= 1")
         if batch_cap is not None and batch_cap < 1:
             raise ValueError("batch_cap must be >= 1 (or None)")
+        if mem_budget is not None and mem_budget < 1:
+            raise ValueError("mem_budget must be >= 1 (or None)")
         from repro.sanitize import SANITIZE_MODES
 
         if sanitize not in SANITIZE_MODES:
@@ -283,6 +307,7 @@ class GpuLocalAssembler:
         self.prefetch = prefetch
         self.streams = streams
         self.batch_cap = batch_cap
+        self.mem_budget = mem_budget
         self.profile_host = profile_host
 
     def run(self, tasks: TaskSet) -> GpuLocalAssemblyReport:
@@ -354,6 +379,8 @@ class GpuLocalAssembler:
         overlap modes.
         """
         budget = self.device.global_mem_bytes
+        if self.mem_budget is not None:
+            budget = min(budget, self.mem_budget)
         parts = self.prefetch + 1
         if overlap_on:
             budget //= parts

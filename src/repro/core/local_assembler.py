@@ -51,6 +51,7 @@ def extend_tasks(
     prefetch: int = 1,
     streams: int = 2,
     batch_cap: int | None = None,
+    mem_budget: int | None = None,
     profile_host: bool = False,
 ) -> tuple[dict[tuple[int, int], str], LocalAssemblyReport]:
     """Run local assembly over a prepared task set.
@@ -84,6 +85,7 @@ def extend_tasks(
             prefetch=prefetch,
             streams=streams,
             batch_cap=batch_cap,
+            mem_budget=mem_budget,
             profile_host=profile_host,
         )
         gpu = assembler.run(tasks)
@@ -114,6 +116,7 @@ def extend_contigs(
     prefetch: int = 1,
     streams: int = 2,
     batch_cap: int | None = None,
+    mem_budget: int | None = None,
     profile_host: bool = False,
 ) -> tuple["ContigSet", LocalAssemblyReport]:
     """Extend a contig set using per-contig candidate reads.
@@ -141,6 +144,7 @@ def extend_contigs(
         prefetch=prefetch,
         streams=streams,
         batch_cap=batch_cap,
+        mem_budget=mem_budget,
         profile_host=profile_host,
     )
     final = apply_extensions(contig_seqs, extensions)

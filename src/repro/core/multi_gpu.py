@@ -105,6 +105,7 @@ class NodeLocalAssembler:
         prefetch: int = 1,
         streams: int = 2,
         batch_cap: int | None = None,
+        mem_budget: int | None = None,
         profile_host: bool = False,
     ) -> None:
         if n_gpus < 1:
@@ -120,6 +121,7 @@ class NodeLocalAssembler:
         self.prefetch = prefetch
         self.streams = streams
         self.batch_cap = batch_cap
+        self.mem_budget = mem_budget
         self.profile_host = profile_host
 
     def run(self, tasks: TaskSet) -> NodeLocalAssemblyReport:
@@ -138,6 +140,7 @@ class NodeLocalAssembler:
                 prefetch=self.prefetch,
                 streams=self.streams,
                 batch_cap=self.batch_cap,
+                mem_budget=self.mem_budget,
                 profile_host=self.profile_host,
             )
             report = assembler.run(TaskSet([tasks[i] for i in group]))

@@ -35,6 +35,7 @@ merged into the timeline trace for a side-by-side profiler view.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -61,11 +62,18 @@ class HostProfiler:
     A disabled profiler (``enabled=False``, the default everywhere) keeps
     every hook a cheap no-op so the hot path does not pay for profiling it
     did not ask for.
+
+    Recording is thread-safe: the overlapped driver's stager worker times
+    its ``stage`` phases on its own thread while the driver thread records
+    the rest, and the job service runs many drivers concurrently — record
+    mutation and aggregation snapshots go through one lock so phase
+    accounting never tears.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = bool(enabled)
         self.records: list[PhaseRecord] = []
+        self._lock = threading.Lock()
         self._epoch = time.perf_counter()
 
     # -- recording -------------------------------------------------------------
@@ -81,18 +89,25 @@ class HostProfiler:
             yield
         finally:
             t1 = time.perf_counter()
-            self.records.append(
-                PhaseRecord(phase, label, t0 - self._epoch, t1 - t0)
-            )
+            with self._lock:
+                self.records.append(
+                    PhaseRecord(phase, label, t0 - self._epoch, t1 - t0)
+                )
 
     def add(self, phase: str, label: str, start_s: float, dur_s: float) -> None:
         """Record an externally-timed block (e.g. an engine dispatch that
         was measured inside :meth:`~repro.gpusim.kernel.GpuContext.launch`)."""
         if not self.enabled:
             return
-        self.records.append(
-            PhaseRecord(phase, label, start_s - self._epoch, dur_s)
-        )
+        with self._lock:
+            self.records.append(
+                PhaseRecord(phase, label, start_s - self._epoch, dur_s)
+            )
+
+    def snapshot(self) -> list[PhaseRecord]:
+        """Consistent copy of the records (safe while writers are active)."""
+        with self._lock:
+            return list(self.records)
 
     def now(self) -> float:
         return time.perf_counter()
@@ -100,10 +115,10 @@ class HostProfiler:
     # -- aggregation -----------------------------------------------------------
 
     def phase_total_s(self, phase: str) -> float:
-        return sum(r.dur_s for r in self.records if r.phase == phase)
+        return sum(r.dur_s for r in self.snapshot() if r.phase == phase)
 
     def phase_count(self, phase: str) -> int:
-        return sum(1 for r in self.records if r.phase == phase)
+        return sum(1 for r in self.snapshot() if r.phase == phase)
 
     def per_batch_s(self, *phases: str) -> float:
         """Mean seconds per batch summed over *phases* (batch count =
@@ -128,7 +143,7 @@ class HostProfiler:
         return {
             "phases": phases,
             "stage_upload_per_batch_s": self.per_batch_s("stage", "upload"),
-            "n_records": len(self.records),
+            "n_records": len(self.snapshot()),
         }
 
     # -- export ----------------------------------------------------------------
@@ -143,7 +158,7 @@ class HostProfiler:
                     "start_s": r.start_s,
                     "dur_s": r.dur_s,
                 }
-                for r in self.records
+                for r in self.snapshot()
             ],
         }
 
@@ -162,7 +177,7 @@ class HostProfiler:
             }
             for p, t in tid.items()
         ]
-        for r in self.records:
+        for r in self.snapshot():
             events.append(
                 {
                     "ph": "X", "pid": pid, "tid": tid.get(r.phase, len(PHASES)),

@@ -70,6 +70,10 @@ class PipelineConfig:
     local_assembly_streams: int = 2
     #: optional cap on tasks per GPU batch (None = memory-budget batching)
     local_assembly_batch_cap: int | None = None
+    #: optional device-memory budget in bytes the GPU driver batches
+    #: under (None = the device's full global memory); the job service
+    #: sets this to enforce per-tenant memory budgets
+    local_assembly_mem_budget: int | None = None
     #: record per-phase host wall-clock timings on the GPU report
     local_assembly_profile_host: bool = False
     # scaffolding
@@ -114,6 +118,11 @@ class PipelineConfig:
             and self.local_assembly_batch_cap < 1
         ):
             raise ValueError("local_assembly_batch_cap must be >= 1 (or None)")
+        if (
+            self.local_assembly_mem_budget is not None
+            and self.local_assembly_mem_budget < 1
+        ):
+            raise ValueError("local_assembly_mem_budget must be >= 1 (or None)")
 
 
 @dataclass
@@ -239,6 +248,7 @@ def run_pipeline(
             prefetch=config.local_assembly_prefetch,
             streams=config.local_assembly_streams,
             batch_cap=config.local_assembly_batch_cap,
+            mem_budget=config.local_assembly_mem_budget,
             profile_host=config.local_assembly_profile_host,
         )
 

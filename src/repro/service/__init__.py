@@ -1,0 +1,46 @@
+"""Assembly-as-a-service: the multi-tenant job layer over the pipeline.
+
+Public surface:
+
+* :class:`~repro.service.service.AssemblyService` — the scheduler:
+  admission control, per-tenant budgets, a shared simulated-GPU fleet,
+  durable job state, resume-after-restart, result memoisation;
+* :class:`~repro.service.service.JobQueue` — the durable file-backed
+  queue (also the ``repro submit`` wire protocol);
+* :class:`~repro.service.job.Job` / :class:`~repro.service.job.JobSpec`
+  / :class:`~repro.service.job.JobState` — the job model;
+* :class:`~repro.service.cache.ResultCache` — the content-addressed
+  dBG-prefix cache built on the hardened checkpoint store.
+
+CLI: ``repro serve`` / ``repro submit`` / ``repro jobs`` /
+``repro cancel``.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.job import Job, JobSpec, JobState, TERMINAL_STATES
+from repro.service.service import (
+    AdmissionError,
+    AssemblyService,
+    BudgetExceededError,
+    JobQueue,
+    QueueFullError,
+    ServiceConfig,
+    UnknownJobError,
+    job_report,
+)
+
+__all__ = [
+    "ResultCache",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "TERMINAL_STATES",
+    "AdmissionError",
+    "AssemblyService",
+    "BudgetExceededError",
+    "JobQueue",
+    "QueueFullError",
+    "ServiceConfig",
+    "UnknownJobError",
+    "job_report",
+]

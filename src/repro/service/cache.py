@@ -1,0 +1,61 @@
+"""Content-addressed result cache for the de Bruijn prefix.
+
+The expensive prefix of every assembly (merge -> k-mer analysis ->
+contig generation) is a pure function of (packed reads, upstream
+parameters) — exactly what :func:`repro.pipeline.checkpoint.
+checkpoint_key` digests.  The cache is therefore nothing more than a
+content-addressed directory of hardened contig-generation checkpoints:
+
+* a re-submitted identical dataset maps to the same key, finds the
+  checkpoint and skips the whole prefix (a memoised result);
+* a killed-and-resumed job maps to the same key too, so resume and
+  memoisation are one mechanism;
+* a different tenant submitting the same reads shares the entry — the
+  key has no tenant component on purpose (results are deterministic,
+  so sharing is safe and the facility-scale win is large).
+
+Corrupt entries are harmless: the hardened loader treats them as
+missing and the prefix is recomputed (then re-saved atomically).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.pipeline.checkpoint import load_contigs_checkpoint
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Keyed store of contig-generation checkpoints under one root."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def dir_for(self, key: str) -> Path:
+        """The checkpoint directory for *key* (two-level fan-out)."""
+        return self.root / key[:2] / key
+
+    def probe(self, key: str) -> bool:
+        """True when a *loadable* entry for *key* exists; counts hit/miss.
+
+        Uses the hardened loader, so a torn or corrupt entry probes as a
+        miss rather than raising.
+        """
+        hit = load_contigs_checkpoint(self.dir_for(key), key) is not None
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+        return hit
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}

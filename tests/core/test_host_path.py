@@ -9,12 +9,15 @@ unfused schedule would, and the profiler is measurement only.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
+import repro.core.driver as driver_mod
 from repro.core.config import LocalAssemblyConfig
 from repro.core.cpu_local_assembly import run_local_assembly_cpu
-from repro.core.driver import GpuLocalAssembler
+from repro.core.driver import GpuLocalAssembler, shutdown_stager
 from repro.core.gpu_batch import (
     DeviceArena,
     LRUDict,
@@ -407,3 +410,95 @@ def test_overlapped_wall_clock_beats_serial_bench_smoke():
         f"workload: {overlap_wall:.2f}s vs serial {serial_wall:.2f}s "
         f"({speedup:.2f}x)"
     )
+
+
+class TestProfilerThreadSafety:
+    """Concurrent jobs share profiling from multiple worker threads; the
+    record list must never tear or drop entries under contention."""
+
+    def test_concurrent_phase_and_add(self):
+        prof = HostProfiler()
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                with prof.phase("stage", f"t{tid}-b{i}"):
+                    pass
+                prof.add("upload", f"t{tid}-b{i}", 0.0, 0.001)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert prof.phase_count("stage") == n_threads * per_thread
+        assert prof.phase_count("upload") == n_threads * per_thread
+        assert prof.phase_total_s("upload") == pytest.approx(
+            n_threads * per_thread * 0.001
+        )
+
+    def test_snapshot_is_stable_while_mutating(self):
+        prof = HostProfiler()
+        n_adds = 5000
+
+        def mutate():
+            for i in range(n_adds):
+                prof.add("stage", f"b{i}", 0.0, 0.001)
+
+        t = threading.Thread(target=mutate)
+        t.start()
+        try:
+            # read paths must stay consistent while the writer runs
+            while t.is_alive():
+                snap = prof.snapshot()
+                assert prof.phase_count("stage") >= len(snap) - 1
+                prof.summary()
+        finally:
+            t.join()
+        assert prof.phase_count("stage") == n_adds
+        assert len(prof.to_json()) > 0
+
+
+class TestStagerShutdown:
+    def test_idempotent(self):
+        shutdown_stager()
+        shutdown_stager()  # no executor alive: still a no-op
+        assert driver_mod._STAGER is None
+
+    def test_recreated_after_shutdown(self, workload, config):
+        shutdown_stager()
+        first = GpuLocalAssembler(config, overlap="on", prefetch=2).run(
+            workload
+        )
+        assert driver_mod._STAGER is not None
+        shutdown_stager()
+        assert driver_mod._STAGER is None
+        # the next overlapped run lazily brings the stager back
+        second = GpuLocalAssembler(config, overlap="on", prefetch=2).run(
+            workload
+        )
+        assert driver_mod._STAGER is not None
+        assert second.extensions == first.extensions
+
+    def test_concurrent_shutdown_and_create(self, workload, config):
+        errors = []
+
+        def runner():
+            try:
+                GpuLocalAssembler(config, overlap="on", prefetch=2).run(
+                    workload
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=runner) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        shutdown_stager()
+        assert errors == []

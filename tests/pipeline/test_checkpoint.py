@@ -1,10 +1,16 @@
 """Tests for pipeline checkpointing (MHM2 --checkpoint analogue)."""
 
+import hashlib
+import json
+import os
+
 import numpy as np
 import pytest
 
+import repro.pipeline.checkpoint as checkpoint_mod
 from repro.pipeline import PipelineConfig, run_pipeline
 from repro.pipeline.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
     checkpoint_key,
     load_contigs_checkpoint,
     save_contigs_checkpoint,
@@ -71,6 +77,163 @@ class TestSaveLoad:
         save_contigs_checkpoint(tmp_path, ContigSet([]), "k1", 0)
         back, _ = load_contigs_checkpoint(tmp_path, "k1")
         assert len(back) == 0
+
+
+class TestKeyDomainSeparation:
+    """The digest frames every field as (tag, length, payload)."""
+
+    def test_field_framing_is_unambiguous(self):
+        a = hashlib.blake2b(digest_size=16)
+        checkpoint_mod._update_field(a, b"x", b"abc")
+        b = hashlib.blake2b(digest_size=16)
+        checkpoint_mod._update_field(b, b"xa", b"bc")
+        assert a.hexdigest() != b.hexdigest()
+
+    def test_empty_vs_shifted_fields_differ(self):
+        a = hashlib.blake2b(digest_size=16)
+        checkpoint_mod._update_field(a, b"t", b"")
+        checkpoint_mod._update_field(a, b"u", b"zz")
+        b = hashlib.blake2b(digest_size=16)
+        checkpoint_mod._update_field(b, b"t", b"zz")
+        checkpoint_mod._update_field(b, b"u", b"")
+        assert a.hexdigest() != b.hexdigest()
+
+    def test_format_version_in_key(self, reads, monkeypatch):
+        cfg = PipelineConfig()
+        before = checkpoint_key(reads, cfg)
+        monkeypatch.setattr(
+            checkpoint_mod,
+            "CHECKPOINT_FORMAT_VERSION",
+            CHECKPOINT_FORMAT_VERSION + 1,
+        )
+        assert checkpoint_key(reads, cfg) != before
+
+
+CONTIGS = ContigSet([Contig(0, "ACGTACGT", 3.5), Contig(7, "GGCC", 1.0)])
+
+
+class TestCorruptionInjection:
+    """A half-written or corrupted checkpoint must behave like a missing
+    one — logged and recomputed, never raised (the job service resumes
+    killed runs from whatever a dead process left behind)."""
+
+    @pytest.fixture
+    def ckpt(self, tmp_path):
+        save_contigs_checkpoint(tmp_path, CONTIGS, "kA", 11)
+        assert load_contigs_checkpoint(tmp_path, "kA") is not None
+        return tmp_path
+
+    def test_truncated_npz(self, ckpt):
+        data = ckpt / "contigs_checkpoint.npz"
+        blob = data.read_bytes()
+        data.write_bytes(blob[: len(blob) // 2])
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_zero_byte_npz(self, ckpt):
+        (ckpt / "contigs_checkpoint.npz").write_bytes(b"")
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_garbage_npz(self, ckpt):
+        (ckpt / "contigs_checkpoint.npz").write_bytes(b"\x00\xffnot a zip" * 64)
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_npz_missing_arrays(self, ckpt):
+        np.savez(ckpt / "contigs_checkpoint.npz", cids=np.arange(2))
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_non_dict_meta(self, ckpt):
+        (ckpt / "contigs_checkpoint.json").write_text("[1, 2, 3]")
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_binary_garbage_meta(self, ckpt):
+        (ckpt / "contigs_checkpoint.json").write_bytes(b"\x80\x81\x82")
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_meta_version_mismatch(self, ckpt):
+        meta = json.loads((ckpt / "contigs_checkpoint.json").read_text())
+        meta["version"] = CHECKPOINT_FORMAT_VERSION - 1
+        (ckpt / "contigs_checkpoint.json").write_text(json.dumps(meta))
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_meta_missing_version(self, ckpt):
+        meta = json.loads((ckpt / "contigs_checkpoint.json").read_text())
+        del meta["version"]
+        (ckpt / "contigs_checkpoint.json").write_text(json.dumps(meta))
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_garbage_n_distinct(self, ckpt):
+        meta = json.loads((ckpt / "contigs_checkpoint.json").read_text())
+        meta["n_distinct_kmers"] = None
+        (ckpt / "contigs_checkpoint.json").write_text(json.dumps(meta))
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+    def test_inconsistent_offsets(self, ckpt):
+        key = np.frombuffer(b"kA", dtype=np.uint8)
+        np.savez(
+            ckpt / "contigs_checkpoint.npz",
+            cids=np.arange(3, dtype=np.int64),
+            depths=np.ones(3),
+            offsets=np.array([0, 4], dtype=np.int64),  # wrong length
+            bases=np.zeros(4, dtype=np.uint8),
+            key=key,
+        )
+        assert load_contigs_checkpoint(ckpt, "kA") is None
+
+
+class TestCrashSafety:
+    """save publishes data-then-meta via os.replace; any crash point
+    leaves a state load treats as consistent-or-missing."""
+
+    def test_crash_between_files_detected(self, tmp_path, monkeypatch):
+        save_contigs_checkpoint(tmp_path, CONTIGS, "kA", 1)
+        real_replace = os.replace
+
+        def crash_on_meta(src, dst):
+            if str(dst).endswith(".json"):
+                raise OSError("injected crash before meta publish")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", crash_on_meta)
+        other = ContigSet([Contig(9, "TTTT", 2.0)])
+        with pytest.raises(OSError, match="injected"):
+            save_contigs_checkpoint(tmp_path, other, "kB", 2)
+        monkeypatch.undo()
+        # new data beside old meta: neither key may resume, neither raises
+        assert load_contigs_checkpoint(tmp_path, "kB") is None
+        assert load_contigs_checkpoint(tmp_path, "kA") is None
+
+    def test_crash_before_data_keeps_old_pair(self, tmp_path, monkeypatch):
+        save_contigs_checkpoint(tmp_path, CONTIGS, "kA", 1)
+        real_replace = os.replace
+
+        def crash_on_data(src, dst):
+            if str(dst).endswith(".npz"):
+                raise OSError("injected crash before data publish")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", crash_on_data)
+        with pytest.raises(OSError, match="injected"):
+            save_contigs_checkpoint(
+                tmp_path, ContigSet([Contig(9, "TTTT", 2.0)]), "kB", 2
+            )
+        monkeypatch.undo()
+        loaded = load_contigs_checkpoint(tmp_path, "kA")
+        assert loaded is not None
+        assert [c.seq for c in loaded[0]] == ["ACGTACGT", "GGCC"]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_contigs_checkpoint(tmp_path, CONTIGS, "kA", 1)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_overwrite_same_dir_different_key(self, tmp_path):
+        save_contigs_checkpoint(tmp_path, CONTIGS, "kA", 1)
+        other = ContigSet([Contig(9, "TTTT", 2.0)])
+        save_contigs_checkpoint(tmp_path, other, "kB", 2)
+        assert load_contigs_checkpoint(tmp_path, "kA") is None
+        loaded = load_contigs_checkpoint(tmp_path, "kB")
+        assert loaded is not None and [c.seq for c in loaded[0]] == ["TTTT"]
+
 
 
 class TestPipelineResume:
