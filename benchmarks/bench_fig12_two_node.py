@@ -91,3 +91,53 @@ def bench_fig12_measured_direction(benchmark, driver_workload):
     )
     record("fig12_measured_direction", text)
     assert report.total_time_s < cpu_wall
+
+
+def bench_fig12_measured_two_ranks(benchmark, workload):
+    """The figure's two-*node* regime, measured at laptop scale with two
+    real worker *processes*: partitioned k-mer analysis with the
+    shared-memory alltoallv, bit-identical to one rank, with the comm
+    model's exchange estimate as the analytic overlay."""
+    import numpy as np
+
+    from repro.distributed.procrank import (
+        distributed_count_proc,
+        procrank_available,
+    )
+    from repro.pipeline.kmer_counts import count_kmers
+
+    if not procrank_available():  # pragma: no cover - CI always has fork
+        import pytest
+
+        pytest.skip("process ranks need fork + POSIX shared memory")
+
+    reads = workload["merged"]
+    single = count_kmers(reads, 21, min_count=2)
+    distributed_count_proc(reads, 21, 2, min_count=2)  # fork warmup
+
+    def measure():
+        _, _, one = distributed_count_proc(reads, 21, 1, min_count=2)
+        spec, stats, two = distributed_count_proc(reads, 21, 2, min_count=2)
+        return one, spec, stats, two
+
+    one, spec, stats, two = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert np.array_equal(spec.words, single.words)
+    assert np.array_equal(spec.counts, single.counts)
+
+    speedup = one.cpu_critical_s / two.cpu_critical_s
+    text = format_table(
+        ["quantity", "1 rank", "2 ranks"],
+        [
+            ("critical-path CPU (s)", f"{one.cpu_critical_s:.3f}",
+             f"{two.cpu_critical_s:.3f}"),
+            ("records exchanged", 0, stats.total_kmers_sent),
+            ("modelled exchange (ms)", "0.000",
+             f"{stats.modelled_time_s * 1e3:.3f}"),
+            ("per-rank CPU speedup", "1.00x", f"{speedup:.2f}x"),
+        ],
+        "Fig 12 (measured, 2 process ranks): partitioned k-mer analysis, "
+        "bit-identical output",
+    )
+    record("fig12_measured_two_ranks", text)
+    # 2 ranks must cut the critical-path CPU materially (ideal: 2x)
+    assert speedup > 1.4

@@ -62,3 +62,59 @@ def bench_fig13_la_scaling(benchmark):
     assert abs(by_nodes[1024].speedup - 2.65) < 0.4
     speedups = [by_nodes[n].speedup for n in PAPER_NODES]
     assert all(a > b for a, b in zip(speedups, speedups[1:]))
+
+
+def bench_fig13_measured_ranked_la(benchmark, workload):
+    """The strong-scaling *mechanism*, measured: local assembly sharded
+    round-robin over real worker processes.  Results stay bit-identical at
+    every rank count while the critical-path CPU falls; the calibrated
+    model above remains the overlay for Summit-scale node counts."""
+    from conftest import record as _record
+
+    from repro.distributed.procrank import (
+        procrank_available,
+        ranked_extend_tasks,
+    )
+
+    if not procrank_available():  # pragma: no cover - CI always has fork
+        import pytest
+
+        pytest.skip("process ranks need fork + POSIX shared memory")
+
+    # the full task set (not the driver subsample): per-rank fixed costs
+    # (driver setup, result shipping) need enough work to amortise against
+    # before the scaling curve means anything
+    tasks = workload["tasks"]
+    ranked_extend_tasks(tasks, 2, mode="gpu")  # fork warmup
+
+    def sweep():
+        out = []
+        for r in (1, 2, 4):
+            best = None
+            for _ in range(2):
+                ext, report = ranked_extend_tasks(tasks, r, mode="gpu")
+                if best is None or report.cpu_critical_s < best[1].cpu_critical_s:
+                    best = (ext, report)
+            out.append((r,) + best)
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    base_ext, base_cpu = rows[0][1], rows[0][2].cpu_critical_s
+    table_rows = []
+    for r, ext, report in rows:
+        assert ext == base_ext, f"ranks={r} changed the extensions"
+        table_rows.append(
+            (r, len(ext), f"{report.cpu_critical_s:.3f}",
+             f"{base_cpu / report.cpu_critical_s:.2f}x")
+        )
+    text = format_table(
+        ["ranks", "tasks extended", "cpu critical (s)", "speedup"],
+        table_rows,
+        "Fig 13 (measured, process ranks): local assembly sharded across "
+        "workers, bit-identical extensions (best of 2)",
+    )
+    _record("fig13_measured_ranked_la", text)
+    # LA is embarrassingly parallel across tasks; per-rank CPU must
+    # strong-scale even where the single-core wall clock cannot
+    assert base_cpu / rows[2][2].cpu_critical_s > 1.5

@@ -75,6 +75,7 @@ def _tenant_budget(text: str) -> tuple[str, int]:
 def build_parser() -> argparse.ArgumentParser:
     from repro.gpusim import ENGINE_MODES, OVERLAP_MODES
     from repro.sanitize import SANITIZE_MODES
+    from repro.service.service import WORKER_MODES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--profile-host", action="store_true",
                      help="print per-phase host wall-clock timings "
                           "(stage/upload/dispatch/unpack/free) after the run")
+    asm.add_argument("--ranks", type=_positive_int, default=1,
+                     help="process ranks for k-mer analysis (>1 forks real "
+                          "rank processes with a shared-memory exchange; "
+                          "bit-identical output at every rank count)")
 
     st = sub.add_parser("stats", help="assembly statistics for FASTA files")
     st.add_argument("fastas", type=Path, nargs="+")
@@ -207,6 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "hold concurrently (repeatable)")
     srv.add_argument("--poll", type=float, default=0.2,
                      help="daemon poll interval in seconds")
+    srv.add_argument("--workers", choices=WORKER_MODES, default="thread",
+                     help="fleet executor: 'thread' shares the GIL across "
+                          "slots; 'process' forks one interpreter per slot "
+                          "so jobs run truly concurrently")
     srv.add_argument("--once", action="store_true",
                      help="recover mid-flight jobs, drain the queue, exit "
                           "(instead of serving forever)")
@@ -293,6 +302,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
     config = PipelineConfig(
         k_series=tuple(args.k),
         min_kmer_count=args.min_kmer_count,
+        kmer_ranks=args.ranks,
         local_assembly_mode=args.mode,
         local_assembly=LocalAssemblyConfig(max_reads_per_end=args.max_reads_per_end),
         local_assembly_workers=args.workers,
@@ -460,6 +470,7 @@ def _service_config_from_args(args: argparse.Namespace):
         default_mem_budget=args.default_mem_budget,
         tenant_budgets=dict(args.tenant_budget),
         poll_s=args.poll,
+        workers=getattr(args, "workers", "thread"),
     )
 
 
@@ -497,9 +508,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.once:
             jobs = svc.drain()
             print(_format_jobs_table(jobs))
-            cache = svc.cache.stats()
-            print(f"result cache: {cache['hits']} hit(s), "
-                  f"{cache['misses']} miss(es)")
+            # Cache probes happen in the worker (possibly another
+            # process), so count hits from the durable job metrics
+            # rather than this process's in-memory cache counters.
+            probed = [j for j in jobs if "cache_hit" in j.metrics]
+            hits = sum(1 for j in probed if j.metrics["cache_hit"])
+            print(f"result cache: {hits} hit(s), "
+                  f"{len(probed) - hits} miss(es)")
             return 1 if any(j.state is JobState.FAILED for j in jobs) else 0
         try:
             svc.serve_forever()

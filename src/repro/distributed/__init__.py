@@ -1,6 +1,13 @@
 """Simulated multi-node execution and Summit-scale models (see DESIGN.md §2)."""
 
 from repro.distributed.comm import CommCostModel
+from repro.distributed.procrank import (
+    RankMetrics,
+    RankRunReport,
+    distributed_count_proc,
+    procrank_available,
+    ranked_extend_tasks,
+)
 from repro.distributed.rank import (
     ExchangeStats,
     RankSimulator,
@@ -27,6 +34,11 @@ __all__ = [
     "CommCostModel",
     "ExchangeStats",
     "RankSimulator",
+    "RankMetrics",
+    "RankRunReport",
+    "distributed_count_proc",
+    "procrank_available",
+    "ranked_extend_tasks",
     "merge_spectra",
     "partition_reads",
     "PAPER_NODES",

@@ -25,25 +25,110 @@ from repro.distributed.comm import CommCostModel
 from repro.pipeline.kmer_counts import KmerSpectrum, count_kmers
 from repro.sequence.read import ReadBatch
 
-__all__ = ["partition_reads", "ExchangeStats", "RankSimulator", "merge_spectra"]
+__all__ = [
+    "partition_reads",
+    "ExchangeStats",
+    "RankSimulator",
+    "merge_spectra",
+    "owner_of_words",
+    "pack_records",
+    "spectrum_from_records",
+    "record_width",
+    "RECORD_BYTES",
+]
+
+
+def owner_of_words(words: np.ndarray, n_ranks: int) -> np.ndarray:
+    """Destination rank of each k-mer: hash-partition on word 0.
+
+    Shared by the in-process simulator and the real process ranks so the
+    two paths shard the spectrum identically.
+    """
+    mix = (words[:, 0] * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(33)
+    return (mix % np.uint64(n_ranks)).astype(np.int64)
+
+
+# -- wire format of one k-mer record ----------------------------------------
+#
+# The exchange moves flat uint64 rows, one per distinct local k-mer:
+# ``[words .. | count | left_ext x5 | right_ext x5]``.  Counts and
+# extension tallies are non-negative int64, so viewing them as uint64 is
+# lossless; a row is what one rank "puts" into a peer's mailbox.
+
+#: uint64 slots per record beyond the packed k-mer words.
+_META_SLOTS = 1 + 5 + 5
+
+
+def record_width(nw: int) -> int:
+    """uint64 slots per record for *nw*-word k-mers."""
+    return nw + _META_SLOTS
+
+
+def RECORD_BYTES(nw: int) -> int:
+    """Bytes on the wire per record (what the cost model prices)."""
+    return 8 * record_width(nw)
+
+
+def pack_records(spec: KmerSpectrum) -> np.ndarray:
+    """Flatten a spectrum into ``(n, record_width)`` uint64 wire rows."""
+    nw = spec.words.shape[1] if len(spec) else 1
+    out = np.empty((len(spec), record_width(nw)), dtype=np.uint64)
+    if len(spec):
+        out[:, :nw] = spec.words
+        out[:, nw] = spec.counts.view(np.uint64)
+        out[:, nw + 1 : nw + 6] = spec.left_ext.view(np.uint64)
+        out[:, nw + 6 :] = spec.right_ext.view(np.uint64)
+    return out
+
+
+def spectrum_from_records(rows: np.ndarray, k: int) -> KmerSpectrum:
+    """Inverse of :func:`pack_records` (rows need not be sorted/unique)."""
+    from repro.sequence.kmer import words_per_kmer
+
+    nw = words_per_kmer(k)
+    rows = np.ascontiguousarray(rows, dtype=np.uint64)
+    if rows.size and rows.shape[1] != record_width(nw):
+        raise ValueError(
+            f"record rows have width {rows.shape[1]}, "
+            f"expected {record_width(nw)} for k={k}"
+        )
+    return KmerSpectrum(
+        k=k,
+        words=rows[:, :nw].copy(),
+        counts=rows[:, nw].copy().view(np.int64),
+        left_ext=rows[:, nw + 1 : nw + 6].copy().view(np.int64),
+        right_ext=rows[:, nw + 6 :].copy().view(np.int64),
+    )
+
+
+def _partition_bounds(batch: ReadBatch, n_ranks: int) -> np.ndarray:
+    """Read-index boundaries of the contiguous pair-aligned partition."""
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    n_units = len(batch) // 2 if batch.paired else len(batch)
+    unit = 2 if batch.paired else 1
+    return np.linspace(0, n_units, n_ranks + 1).astype(np.int64) * unit
+
+
+def partition_part(batch: ReadBatch, n_ranks: int, rank: int) -> ReadBatch:
+    """Rank *rank*'s slice of the partition — what a worker process
+    materialises without copying the other ranks' reads."""
+    bounds = _partition_bounds(batch, n_ranks)
+    if not 0 <= rank < n_ranks:
+        raise ValueError(f"rank {rank} out of range for {n_ranks} ranks")
+    idx = np.arange(bounds[rank], bounds[rank + 1])
+    part = batch.subset(idx)
+    # subset drops pairedness; restore it (blocks are pair-aligned).
+    return ReadBatch(
+        part.bases, part.quals, part.offsets, part.names, paired=batch.paired
+    )
 
 
 def partition_reads(batch: ReadBatch, n_ranks: int) -> list[ReadBatch]:
     """Split a paired batch into *n_ranks* contiguous pair-aligned parts."""
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
-    n_pairs = len(batch) // 2 if batch.paired else len(batch)
-    unit = 2 if batch.paired else 1
-    bounds = np.linspace(0, n_pairs, n_ranks + 1).astype(np.int64)
-    parts = []
-    for r in range(n_ranks):
-        idx = np.arange(bounds[r] * unit, bounds[r + 1] * unit)
-        part = batch.subset(idx)
-        # subset drops pairedness; restore it (blocks are pair-aligned).
-        parts.append(
-            ReadBatch(part.bases, part.quals, part.offsets, part.names, paired=batch.paired)
-        )
-    return parts
+    return [partition_part(batch, n_ranks, r) for r in range(n_ranks)]
 
 
 @dataclass
@@ -96,10 +181,14 @@ def merge_spectra(shards: list[KmerSpectrum], k: int) -> KmerSpectrum:
 
 
 class RankSimulator:
-    """Runs the distributed k-mer analysis pattern over simulated ranks."""
+    """Runs the distributed k-mer analysis pattern over simulated ranks.
 
-    #: bytes on the wire per k-mer record: packed words + count + 2x5 exts.
-    RECORD_BYTES_BASE = 8 + 8 + 2 * 5 * 4
+    This is the in-process *model* twin of the real process-rank launcher
+    (:mod:`repro.distributed.procrank`): same partitioning, same owner
+    hash, same wire format — but executed sequentially in one process
+    with modelled (not measured) exchange time.  The benches keep it as
+    the analytic overlay next to the measured multi-rank runs.
+    """
 
     def __init__(self, n_ranks: int, comm: CommCostModel | None = None) -> None:
         if n_ranks < 1:
@@ -109,8 +198,7 @@ class RankSimulator:
 
     def owner_of(self, words: np.ndarray) -> np.ndarray:
         """Destination rank of each k-mer: hash-partition on word 0."""
-        mix = (words[:, 0] * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(33)
-        return (mix % np.uint64(self.n_ranks)).astype(np.int64)
+        return owner_of_words(words, self.n_ranks)
 
     def distributed_count(
         self, batch: ReadBatch, k: int, min_count: int = 1
@@ -126,7 +214,9 @@ class RankSimulator:
 
         # Exchange: each rank sends every locally-seen k-mer record to its
         # owner rank.  We tally the per-rank outgoing volume.
-        record_bytes = self.RECORD_BYTES_BASE
+        from repro.sequence.kmer import words_per_kmer
+
+        record_bytes = RECORD_BYTES(words_per_kmer(k))
         sent_per_rank = np.zeros(self.n_ranks, dtype=np.int64)
         shards_in: list[list[KmerSpectrum]] = [[] for _ in range(self.n_ranks)]
         total_sent = 0

@@ -1,0 +1,140 @@
+"""O_EXCL claim files: cross-process mutual exclusion for shared stores.
+
+The job queue and the result cache were written for single-process
+writers; the process-rank fleet (PR 8) puts several *processes* over the
+same directories, so exclusive ownership has to live on the filesystem.
+A :class:`ClaimFile` is the smallest primitive that works everywhere the
+repo runs: a JSON payload created with ``O_CREAT | O_EXCL`` (atomic on
+POSIX and NFSv3+), naming the owning PID and a random ownership token.
+
+Semantics:
+
+* :meth:`acquire` either creates the file (ownership) or fails because a
+  *live* owner holds it.  A claim whose recorded PID no longer exists is
+  **stale** — crashed owners must not wedge the store forever — and is
+  broken and re-acquired in one call.  A torn claim (crash between
+  ``open`` and ``write``) is treated as stale once it is older than a
+  grace period, since its owner can never be identified.
+* :meth:`release` unlinks the file only when the payload still carries
+  this claim's token — releasing a claim someone else broke and re-took
+  must not steal *their* ownership.
+
+This is an advisory lock: correctness-critical writes (checkpoints,
+job.json) stay atomic via temp-file + ``os.replace`` regardless, and the
+claim only decides *which* process performs them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+
+__all__ = ["ClaimFile", "pid_alive"]
+
+#: age after which an unreadable (torn) claim may be broken.
+_TORN_GRACE_S = 5.0
+
+
+def pid_alive(pid: int) -> bool:
+    """True when *pid* currently names a live process we can see."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+class ClaimFile:
+    """An exclusive, crash-recoverable claim on one path."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.token = uuid.uuid4().hex
+        self.held = False
+
+    # -- inspection ----------------------------------------------------------
+
+    def owner(self) -> dict | None:
+        """The current claim payload, or None when absent/unreadable."""
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _stale(self) -> bool:
+        """A claim is stale when its owner is provably gone."""
+        owner = self.owner()
+        if owner is None:
+            # torn or vanished; break it only once it is old enough that
+            # a mid-write owner would have finished
+            try:
+                age = time.time() - self.path.stat().st_mtime
+            except OSError:
+                return False  # vanished: the next acquire attempt decides
+            return age > _TORN_GRACE_S
+        return not pid_alive(int(owner.get("pid", -1)))
+
+    # -- acquisition ---------------------------------------------------------
+
+    def _try_create(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False
+        try:
+            payload = json.dumps(
+                {"pid": os.getpid(), "token": self.token, "time": time.time()}
+            )
+            os.write(fd, payload.encode("ascii"))
+        finally:
+            os.close(fd)
+        self.held = True
+        return True
+
+    def acquire(self) -> bool:
+        """Take the claim; breaks a stale (dead-owner/torn) one first."""
+        if self.held:
+            return True
+        if self._try_create():
+            return True
+        if self._stale():
+            # Unlink-and-retry; a racing breaker may win, in which case
+            # the second create fails against the *new* live owner.
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+            return self._try_create()
+        return False
+
+    def release(self) -> None:
+        """Drop the claim iff we still own it (token check)."""
+        if not self.held:
+            return
+        self.held = False
+        owner = self.owner()
+        if owner is not None and owner.get("token") != self.token:
+            return  # broken and re-taken by someone else; not ours to unlink
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "ClaimFile":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -40,7 +40,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-__all__ = ["PHASES", "PhaseRecord", "HostProfiler"]
+__all__ = ["PHASES", "PhaseRecord", "HostProfiler", "merge_rank_profiles"]
 
 #: the host-path phases, in pipeline order.
 PHASES = ("stage", "upload", "dispatch", "unpack", "free")
@@ -128,11 +128,20 @@ class HostProfiler:
             return 0.0
         return sum(self.phase_total_s(p) for p in phases) / n
 
+    def _observed_phases(self) -> list[str]:
+        """The driver phases first, then any custom phases (e.g. the rank
+        phases count/pack/exchange/merge) in first-seen order."""
+        phases = list(PHASES)
+        for r in self.snapshot():
+            if r.phase not in phases:
+                phases.append(r.phase)
+        return phases
+
     def summary(self) -> dict:
         """Aggregate totals/means per phase plus the headline stage+upload
         per-batch figure the BENCH_overlap acceptance gate tracks."""
         phases = {}
-        for p in PHASES:
+        for p in self._observed_phases():
             n = self.phase_count(p)
             total = self.phase_total_s(p)
             phases[p] = {
@@ -166,22 +175,23 @@ class HostProfiler:
         with open(path, "w") as fh:
             json.dump(self.to_json(), fh, indent=2)
 
-    def chrome_events(self, pid: int = 1) -> list[dict]:
-        """The records as chrome://tracing complete slices on ``hostprof.*``
-        lanes (one tid per phase), mergeable into a timeline trace."""
-        tid = {p: i for i, p in enumerate(PHASES)}
+    def chrome_events(self, pid: int = 1, prefix: str = "hostprof") -> list[dict]:
+        """The records as chrome://tracing complete slices on
+        ``<prefix>.*`` lanes (one tid per phase, custom phases included),
+        mergeable into a timeline trace."""
+        tid = {p: i for i, p in enumerate(self._observed_phases())}
         events: list[dict] = [
             {
                 "ph": "M", "pid": pid, "tid": t,
-                "name": "thread_name", "args": {"name": f"hostprof.{p}"},
+                "name": "thread_name", "args": {"name": f"{prefix}.{p}"},
             }
             for p, t in tid.items()
         ]
         for r in self.snapshot():
             events.append(
                 {
-                    "ph": "X", "pid": pid, "tid": tid.get(r.phase, len(PHASES)),
-                    "name": f"{r.phase} {r.label}".strip(), "cat": "hostprof",
+                    "ph": "X", "pid": pid, "tid": tid[r.phase],
+                    "name": f"{r.phase} {r.label}".strip(), "cat": prefix,
                     "ts": r.start_s * 1e6, "dur": r.dur_s * 1e6,
                 }
             )
@@ -191,8 +201,7 @@ class HostProfiler:
         """A human-readable phase table (the CLI ``--profile-host`` output)."""
         s = self.summary()
         lines = ["host-path profile (wall clock):"]
-        for p in PHASES:
-            row = s["phases"][p]
+        for p, row in s["phases"].items():
             lines.append(
                 f"  {p:<8} {row['count']:>4} x  "
                 f"mean {row['mean_s'] * 1e3:8.3f} ms  "
@@ -203,3 +212,50 @@ class HostProfiler:
             f"{s['stage_upload_per_batch_s'] * 1e3:.3f} ms"
         )
         return "\n".join(lines)
+
+
+def merge_rank_profiles(profiles: list[dict], base_pid: int = 100) -> dict:
+    """Merge per-rank :meth:`HostProfiler.to_json` dumps into one
+    chrome://tracing document with one process lane per rank.
+
+    Each rank becomes its own pid (``base_pid + rank``) named
+    ``rank<N>``, with one tid per phase inside it — the same lane scheme
+    the driver's ``hostprof.*`` lanes use, so a merged multi-rank trace
+    reads like the single-process one, stacked.  Ranks run in separate
+    processes with their own profiler epochs, so lanes are comparable in
+    *duration*, not absolute offset.
+    """
+    events: list[dict] = []
+    for rank, prof in enumerate(profiles):
+        pid = base_pid + rank
+        events.append(
+            {
+                "ph": "M", "pid": pid, "tid": 0,
+                "name": "process_name", "args": {"name": f"rank{rank}"},
+            }
+        )
+        records = list(prof.get("records", []))
+        phases: list[str] = []
+        for rec in records:
+            if rec.get("phase") not in phases:
+                phases.append(rec.get("phase"))
+        tid = {p: i for i, p in enumerate(phases)}
+        for p, t in tid.items():
+            events.append(
+                {
+                    "ph": "M", "pid": pid, "tid": t,
+                    "name": "thread_name",
+                    "args": {"name": f"rank{rank}.{p}"},
+                }
+            )
+        for rec in records:
+            events.append(
+                {
+                    "ph": "X", "pid": pid, "tid": tid[rec.get("phase")],
+                    "name": f"{rec.get('phase')} {rec.get('label', '')}".strip(),
+                    "cat": "rankprof",
+                    "ts": float(rec.get("start_s", 0.0)) * 1e6,
+                    "dur": float(rec.get("dur_s", 0.0)) * 1e6,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -145,6 +145,17 @@ def save_contigs_checkpoint(
     token = f"{os.getpid()}.{uuid.uuid4().hex[:8]}"
     data_tmp = directory / f".{_FILENAME}.{token}.tmp.npz"
     meta_tmp = directory / f".{_META}.{token}.tmp"
+    # Advisory writer claim: with process workers, several jobs may land
+    # on the same content-addressed entry at once.  Publication stays
+    # atomic (temp + os.replace) either way; the claim just elects one
+    # writer and lets the others skip redundant work — a live peer is
+    # writing the *same* bytes (the key pins the content), and a dead
+    # one's stale claim is broken by ``acquire``.
+    from repro.locking import ClaimFile
+
+    claim = ClaimFile(directory / f".{_FILENAME}.writer.lock")
+    if not claim.acquire():
+        return
     try:
         with open(data_tmp, "wb") as fh:
             np.savez_compressed(
@@ -175,6 +186,7 @@ def save_contigs_checkpoint(
     finally:
         data_tmp.unlink(missing_ok=True)
         meta_tmp.unlink(missing_ok=True)
+        claim.release()
 
 
 def load_contigs_checkpoint(

@@ -26,7 +26,13 @@ import numpy as np
 from repro.pipeline.kmer_counts import KmerSpectrum, count_kmers
 from repro.sequence.read import ReadBatch
 
-__all__ = ["ExtVerdict", "ClassifiedKmers", "analyze_kmers", "classify_extensions"]
+__all__ = [
+    "ExtVerdict",
+    "ClassifiedKmers",
+    "analyze_kmers",
+    "classify_extensions",
+    "classify_spectrum",
+]
 
 
 class ExtVerdict(IntEnum):
@@ -87,6 +93,25 @@ def classify_extensions(
     return verdict, base
 
 
+def classify_spectrum(spectrum: KmerSpectrum, min_depth: int = 2) -> ClassifiedKmers:
+    """Classify both sides of an already-counted (and filtered) spectrum.
+
+    Classification is a pure function of the tallies, so a spectrum
+    counted by the distributed process ranks classifies identically to
+    one counted sequentially — what lets ``kmer_ranks`` swap the
+    counting engine without touching any downstream contig.
+    """
+    lv, lb = classify_extensions(spectrum.left_ext, min_depth)
+    rv, rb = classify_extensions(spectrum.right_ext, min_depth)
+    return ClassifiedKmers(
+        spectrum=spectrum,
+        left_verdict=lv,
+        right_verdict=rv,
+        left_base=lb,
+        right_base=rb,
+    )
+
+
 def analyze_kmers(
     batch: ReadBatch,
     k: int,
@@ -110,12 +135,4 @@ def analyze_kmers(
         Mask bases below this Phred score before counting (0 = off).
     """
     spectrum = count_kmers(batch, k, min_count=min_count, min_qual=min_qual)
-    lv, lb = classify_extensions(spectrum.left_ext, min_depth)
-    rv, rb = classify_extensions(spectrum.right_ext, min_depth)
-    return ClassifiedKmers(
-        spectrum=spectrum,
-        left_verdict=lv,
-        right_verdict=rv,
-        left_base=lb,
-        right_base=rb,
-    )
+    return classify_spectrum(spectrum, min_depth)

@@ -43,6 +43,10 @@ class PipelineConfig:
     min_depth: int = 2
     #: mask bases below this Phred score in k-mer analysis (0 = off)
     min_kmer_qual: int = 0
+    #: process ranks for k-mer analysis (1 = sequential in-process;
+    #: >1 forks real rank processes with a shared-memory exchange —
+    #: bit-identical spectrum, so checkpoints/cache keys are unaffected)
+    kmer_ranks: int = 1
     min_contig_len: int | None = None
     # alignment
     seed_len: int = 17
@@ -91,6 +95,8 @@ class PipelineConfig:
             raise ValueError("all k values must be odd")
         if self.local_assembly_mode not in ("cpu", "gpu"):
             raise ValueError("local_assembly_mode must be 'cpu' or 'gpu'")
+        if self.kmer_ranks < 1:
+            raise ValueError("kmer_ranks must be >= 1")
         from repro.gpusim import ENGINE_MODES
 
         if self.local_assembly_engine not in ENGINE_MODES:
@@ -203,13 +209,30 @@ def run_pipeline(
         counting_input = merged
         for round_idx, k in enumerate(config.k_series):
             with times.stage("k-mer analysis"):
-                classified = analyze_kmers(
-                    counting_input,
-                    k,
-                    min_count=config.min_kmer_count,
-                    min_depth=config.min_depth,
-                    min_qual=config.min_kmer_qual,
-                )
+                if config.kmer_ranks > 1:
+                    # Real process ranks with a shared-memory exchange;
+                    # the merged spectrum is bit-identical to the
+                    # sequential count, so everything downstream
+                    # (contigs, checkpoints, cache keys) is unchanged.
+                    from repro.distributed.procrank import distributed_count_proc
+                    from repro.pipeline.kmer_analysis import classify_spectrum
+
+                    spectrum, _, _ = distributed_count_proc(
+                        counting_input,
+                        k,
+                        config.kmer_ranks,
+                        min_count=config.min_kmer_count,
+                        min_qual=config.min_kmer_qual,
+                    )
+                    classified = classify_spectrum(spectrum, config.min_depth)
+                else:
+                    classified = analyze_kmers(
+                        counting_input,
+                        k,
+                        min_count=config.min_kmer_count,
+                        min_depth=config.min_depth,
+                        min_qual=config.min_kmer_qual,
+                    )
                 n_distinct = len(classified)
             with times.stage("contig generation"):
                 contigs = generate_contigs(classified, config.min_contig_len)

@@ -80,6 +80,7 @@ PIPELINE_SPEC_KEYS = frozenset(
         "min_kmer_count",
         "min_depth",
         "min_kmer_qual",
+        "kmer_ranks",
         "min_contig_len",
         "local_assembly_mode",
         "gpu_kernel_version",

@@ -39,15 +39,18 @@ from __future__ import annotations
 
 import json
 import logging
+import multiprocessing as mp
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.core.driver import shutdown_stager
 from repro.gpusim.device import V100, DeviceSpec
+from repro.locking import ClaimFile, pid_alive
 from repro.service.cache import ResultCache
 from repro.service.job import (
     Job,
@@ -66,7 +69,13 @@ __all__ = [
     "JobQueue",
     "AssemblyService",
     "job_report",
+    "execute_job",
+    "WORKER_MODES",
 ]
+
+#: fleet executor kinds: thread workers share the GIL; process workers
+#: (a fork-started pool) run pipelines truly concurrently.
+WORKER_MODES = ("thread", "process")
 
 
 def job_report(job: Job) -> dict:
@@ -125,10 +134,15 @@ class ServiceConfig:
     tenant_budgets: Mapping[str, int] = field(default_factory=dict)
     #: daemon poll interval (seconds) between queue scans
     poll_s: float = 0.2
+    #: fleet executor: "thread" (GIL-shared, the PR 7 behaviour) or
+    #: "process" (fork-started workers, one interpreter per GPU slot)
+    workers: str = "thread"
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
+        if self.workers not in WORKER_MODES:
+            raise ValueError(f"workers must be one of {WORKER_MODES}")
         if self.max_queued < 1:
             raise ValueError("max_queued must be >= 1")
         if self.default_mem_budget is not None and self.default_mem_budget < 1:
@@ -146,6 +160,7 @@ class ServiceConfig:
             "default_mem_budget": self.default_mem_budget,
             "tenant_budgets": dict(self.tenant_budgets),
             "poll_s": self.poll_s,
+            "workers": self.workers,
         }
 
     @classmethod
@@ -158,6 +173,7 @@ class ServiceConfig:
                 k: int(v) for k, v in d.get("tenant_budgets", {}).items()
             },
             poll_s=float(d.get("poll_s", 0.2)),
+            workers=str(d.get("workers", "thread")),
         )
 
     def save(self, root: str | Path) -> None:
@@ -195,6 +211,27 @@ class JobQueue:
 
     def _cancel_sentinel(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "cancel"
+
+    def claim_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "claim"
+
+    # -- cross-process exclusivity ---------------------------------------------
+
+    def claim(self, job_id: str) -> ClaimFile | None:
+        """Take the run claim on a job; None when a live worker holds it.
+
+        With process workers (or two daemons pointed at one root) the
+        in-memory ``_in_flight`` set no longer covers every runner, so
+        exclusive execution is anchored on an ``O_EXCL`` claim file.  A
+        crashed worker's claim (dead PID) is broken automatically.
+        """
+        claim = ClaimFile(self.claim_path(job_id))
+        return claim if claim.acquire() else None
+
+    def claimed_by_live_worker(self, job_id: str) -> bool:
+        """True when a *live* process currently holds the run claim."""
+        owner = ClaimFile(self.claim_path(job_id)).owner()
+        return owner is not None and pid_alive(int(owner.get("pid", -1)))
 
     # -- core operations -------------------------------------------------------
 
@@ -286,12 +323,17 @@ class JobQueue:
 
         The attempt counter bumps so reports distinguish resumed runs;
         the result cache makes the re-run skip work the first attempt
-        checkpointed.  Returns the re-queued jobs.
+        checkpointed.  A mid-flight job whose run claim is held by a
+        *live* process is not dead — it belongs to another worker or
+        daemon on this root — and is left alone.  Returns the re-queued
+        jobs.
         """
         requeued: list[Job] = []
         with self._lock:
             for job in self.jobs():
                 if job.state in (JobState.STAGING, JobState.RUNNING):
+                    if self.claimed_by_live_worker(job.job_id):
+                        continue
                     job.transition(JobState.QUEUED)
                     job.attempt += 1
                     self.save(job)
@@ -328,13 +370,28 @@ class AssemblyService:
         self.device = device
         self.queue = JobQueue(self.root)
         self.cache = ResultCache(self.root / "cache")
-        self._lock = threading.Lock()
+        # RLock: a done-callback can fire synchronously inside
+        # _try_schedule (future already finished) and must be able to
+        # re-enter for _release.
+        self._lock = threading.RLock()
         self._free_slots = set(range(self.config.n_gpus))
         self._tenant_running: dict[str, int] = {}
         self._in_flight: set[str] = set()
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.config.n_gpus, thread_name_prefix="repro-job"
-        )
+        self.worker_mode = self.config.workers
+        if self.worker_mode == "process":
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - no fork start method
+                _LOG.warning("fork unavailable; falling back to thread fleet")
+                self.worker_mode = "thread"
+        if self.worker_mode == "process":
+            self._executor: ThreadPoolExecutor | ProcessPoolExecutor = (
+                ProcessPoolExecutor(max_workers=self.config.n_gpus, mp_context=ctx)
+            )
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.n_gpus, thread_name_prefix="repro-job"
+            )
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -415,9 +472,26 @@ class AssemblyService:
                 self._free_slots.discard(slot)
                 self._tenant_running[job.spec.tenant] = running + demand
                 self._in_flight.add(job.job_id)
-                self._executor.submit(self._run_job, job, slot, demand)
+                if self.worker_mode == "process":
+                    fut = self._executor.submit(
+                        _process_worker,
+                        str(self.root), self.device, job.job_id, slot, demand,
+                    )
+                else:
+                    fut = self._executor.submit(self._run_job, job, slot, demand)
+                # Release via done-callback so a worker that dies hard
+                # (e.g. a killed pool process) still frees its slot.
+                fut.add_done_callback(
+                    lambda f, j=job, s=slot, d=demand: self._on_done(f, j, s, d)
+                )
                 started += 1
         return started
+
+    def _on_done(self, fut, job: Job, slot: int, demand: int) -> None:
+        exc = fut.exception()
+        if exc is not None:  # pragma: no cover - defensive
+            _LOG.error("job %s worker died: %s", job.job_id, exc)
+        self._release(job, slot, demand)
 
     def _release(self, job: Job, slot: int, demand: int) -> None:
         with self._lock:
@@ -468,54 +542,82 @@ class AssemblyService:
 
     def _run_job(self, job: Job, slot: int, demand: int) -> None:
         try:
-            self._execute(job, slot, demand)
+            execute_job(self.queue, self.cache, self.device, job.job_id, slot, demand)
         except BaseException:  # pragma: no cover - defensive
             _LOG.exception("job %s worker crashed", job.job_id)
-        finally:
-            self._release(job, slot, demand)
 
-    def _cancelled(self, job: Job) -> bool:
-        if not self.queue.cancel_requested(job.job_id):
-            return False
-        job.transition(JobState.CANCELLED)
-        self.queue.save(job)
-        return True
+    def recover(self) -> list[Job]:
+        """Adopt a dead predecessor's mid-flight jobs (delegates to the
+        queue); call once on startup before serving."""
+        return self.queue.recover()
 
-    def _execute(self, job: Job, slot: int, demand: int) -> None:
-        from repro.pipeline.checkpoint import checkpoint_key
-        from repro.pipeline.pipeline import run_pipeline
-        from repro.pipeline.stages import StageTimes
-        from repro.sequence.fastq import load_read_batch, write_fasta
 
-        # the record on disk may be newer than our snapshot (e.g. an
-        # out-of-process cancel of a queued job); re-read before running.
-        job = self.queue.get(job.job_id)
-        if job.state is not JobState.QUEUED or self._cancelled(job):
+# -- the job runner (shared by thread and process fleets) --------------------
+
+
+def _job_cancelled(queue: JobQueue, job: Job) -> bool:
+    if not queue.cancel_requested(job.job_id):
+        return False
+    job.transition(JobState.CANCELLED)
+    queue.save(job)
+    return True
+
+
+def execute_job(
+    queue: JobQueue,
+    cache: ResultCache,
+    device: DeviceSpec,
+    job_id: str,
+    slot: int,
+    demand: int,
+) -> None:
+    """Run one QUEUED job end to end under the cross-process run claim.
+
+    Module-level (not a method) so the process fleet can run it in a
+    pool worker: the worker reconstructs the queue/cache over the same
+    directories and every state transition goes through the durable
+    ``job.json``, which is the only channel the parent reads.
+    """
+    from repro.pipeline.checkpoint import checkpoint_key
+    from repro.pipeline.pipeline import run_pipeline
+    from repro.pipeline.stages import StageTimes
+    from repro.sequence.fastq import load_read_batch, write_fasta
+
+    claim = queue.claim(job_id)
+    if claim is None:
+        _LOG.warning("job %s already claimed by a live worker; skipping", job_id)
+        return
+    try:
+        # the record on disk may be newer than the scheduler's snapshot
+        # (e.g. an out-of-process cancel of a queued job); re-read first.
+        job = queue.get(job_id)
+        if job.state is not JobState.QUEUED or _job_cancelled(queue, job):
             return
         job.transition(JobState.STAGING)
         job.metrics["gpu_slot"] = slot
         job.metrics["mem_budget_bytes"] = demand
-        self.queue.save(job)
-        job_dir = self.queue.job_dir(job.job_id)
+        job.metrics["worker_pid"] = os.getpid()
+        queue.save(job)
+        job_dir = queue.job_dir(job.job_id)
         try:
             times = StageTimes()
             with times.stage("file IO"):
                 reads = load_read_batch(job.spec.reads, paired=True)
             pipeline_config = job.spec.pipeline_config(mem_budget=demand)
             key = checkpoint_key(reads, pipeline_config)
-            cache_hit = self.cache.probe(key)
+            cache_hit = cache.probe(key)
             job.metrics["checkpoint_key"] = key
             job.metrics["cache_hit"] = cache_hit
             job.metrics["queue_wait_s"] = job.queue_wait_s()
-            if self._cancelled(job):
+            if _job_cancelled(queue, job):
                 return
             job.transition(JobState.RUNNING)
-            self.queue.save(job)
+            queue.save(job)
             result = run_pipeline(
                 reads,
                 pipeline_config,
                 times=times,
-                checkpoint_dir=str(self.cache.dir_for(key)),
+                checkpoint_dir=str(cache.dir_for(key)),
             )
             with times.stage("file IO"):
                 write_fasta(
@@ -543,19 +645,27 @@ class AssemblyService:
             gpu_report = result.local_assembly.gpu_report
             if gpu_report is not None and gpu_report.host_profile is not None:
                 job.metrics["host_profile"] = gpu_report.host_profile.summary()
-            if self._cancelled(job):
+            if _job_cancelled(queue, job):
                 return
             job.transition(JobState.DONE)
-            self.queue.save(job)
+            queue.save(job)
             atomic_write_json(job_dir / "report.json", job_report(job))
         except Exception as exc:
             _LOG.warning("job %s failed: %s", job.job_id, exc)
             job.error = f"{type(exc).__name__}: {exc}"
             job.transition(JobState.FAILED)
-            self.queue.save(job)
+            queue.save(job)
             atomic_write_json(job_dir / "report.json", job_report(job))
+    finally:
+        claim.release()
 
-    def recover(self) -> list[Job]:
-        """Adopt a dead predecessor's mid-flight jobs (delegates to the
-        queue); call once on startup before serving."""
-        return self.queue.recover()
+
+def _process_worker(
+    root: str, device: DeviceSpec, job_id: str, slot: int, demand: int
+) -> str:
+    """Pool-worker entry of the process fleet: rebuild the stores over
+    the service directory and run the job in this interpreter."""
+    queue = JobQueue(root)
+    cache = ResultCache(Path(root) / "cache")
+    execute_job(queue, cache, device, job_id, slot, demand)
+    return job_id

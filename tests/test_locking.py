@@ -1,0 +1,129 @@
+"""ClaimFile tests: exclusivity, crash recovery, and torn-claim handling.
+
+The crash-injection scenarios matter most: a worker that dies holding a
+claim must not wedge the store (dead-PID claims are broken), while a
+*live* holder must never be displaced.
+"""
+
+import json
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from repro.locking import ClaimFile, pid_alive
+
+
+def _hold_and_exit(path, q):
+    claim = ClaimFile(path)
+    q.put(claim.acquire())
+    os._exit(0)  # crash: no release, no atexit
+
+
+def _dead_pid() -> int:
+    """A PID that provably no longer exists (a reaped child's)."""
+    ctx = mp.get_context("fork")
+    p = ctx.Process(target=lambda: None)
+    p.start()
+    p.join()
+    assert not pid_alive(p.pid)
+    return p.pid
+
+
+class TestBasics:
+    def test_acquire_release(self, tmp_path):
+        claim = ClaimFile(tmp_path / "c")
+        assert claim.acquire()
+        assert claim.held
+        assert (tmp_path / "c").exists()
+        owner = claim.owner()
+        assert owner["pid"] == os.getpid()
+        assert owner["token"] == claim.token
+        claim.release()
+        assert not claim.held
+        assert not (tmp_path / "c").exists()
+
+    def test_live_owner_blocks_second_claim(self, tmp_path):
+        a, b = ClaimFile(tmp_path / "c"), ClaimFile(tmp_path / "c")
+        assert a.acquire()
+        assert not b.acquire()
+        a.release()
+        assert b.acquire()
+        b.release()
+
+    def test_acquire_is_idempotent_while_held(self, tmp_path):
+        claim = ClaimFile(tmp_path / "c")
+        assert claim.acquire()
+        assert claim.acquire()
+        claim.release()
+
+    def test_context_manager(self, tmp_path):
+        with ClaimFile(tmp_path / "c") as claim:
+            assert claim.held
+        assert not (tmp_path / "c").exists()
+
+
+class TestCrashRecovery:
+    def test_dead_owner_claim_is_broken(self, tmp_path):
+        """Crash injection: a child acquires the claim and dies without
+        releasing; the next acquirer breaks the stale claim."""
+        path = tmp_path / "c"
+        ctx = mp.get_context("fork")
+        q = ctx.SimpleQueue()
+        p = ctx.Process(target=_hold_and_exit, args=(path, q))
+        p.start()
+        assert q.get() is True  # the child held it
+        p.join()
+        assert path.exists()  # ...and left it behind
+        survivor = ClaimFile(path)
+        assert survivor.acquire()
+        assert survivor.owner()["pid"] == os.getpid()
+        survivor.release()
+
+    def test_synthetic_dead_pid_claim_is_broken(self, tmp_path):
+        path = tmp_path / "c"
+        path.write_text(json.dumps({"pid": _dead_pid(), "token": "x", "time": 0}))
+        claim = ClaimFile(path)
+        assert claim.acquire()
+        claim.release()
+
+    def test_fresh_torn_claim_is_respected(self, tmp_path):
+        """A claim mid-write (unreadable, new) is NOT broken — its owner
+        may still be between open and write."""
+        path = tmp_path / "c"
+        path.write_bytes(b"")  # torn: created but payload never landed
+        assert not ClaimFile(path).acquire()
+
+    def test_old_torn_claim_is_broken(self, tmp_path):
+        path = tmp_path / "c"
+        path.write_bytes(b"{trunc")
+        old = time.time() - 60.0
+        os.utime(path, (old, old))
+        claim = ClaimFile(path)
+        assert claim.acquire()
+        claim.release()
+
+    def test_release_does_not_steal_rebroken_claim(self, tmp_path):
+        """If our claim was broken and re-taken, release must not unlink
+        the new owner's file."""
+        path = tmp_path / "c"
+        a = ClaimFile(path)
+        assert a.acquire()
+        # simulate a breaker: replace the payload with another owner's
+        path.write_text(json.dumps({"pid": os.getpid(), "token": "other", "time": 0}))
+        a.release()
+        assert path.exists()  # still the other owner's
+        assert json.loads(path.read_text())["token"] == "other"
+
+
+class TestPidAlive:
+    def test_self_is_alive(self):
+        assert pid_alive(os.getpid())
+
+    def test_nonpositive_pids(self):
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+    def test_reaped_child_is_dead(self):
+        assert not pid_alive(_dead_pid())
