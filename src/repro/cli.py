@@ -16,7 +16,10 @@ Commands
     stage shares) for the WA or arcticsynth profile.
 ``lint``
     Static kernel-hygiene lint (twin parity, banned impure calls,
-    discarded atomics) over the simulated-kernel source tree.
+    discarded atomics) over the simulated-kernel source tree; with
+    ``--concurrency``, the process-rank concurrency rules (segment and
+    claim lifecycle pairing, fork safety, barrier-abort pairing)
+    instead.  ``--json`` emits the sanitizer-report schema for CI.
 ``serve`` / ``submit`` / ``jobs`` / ``cancel``
     The multi-tenant assembly job service: a daemon draining a durable
     file-backed queue over a simulated GPU fleet, with admission
@@ -111,9 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="warp execution engine (gpu mode; 'auto' resolves to "
                           "'batched' — the lockstep SoA engine; the process "
                           "pool runs only on explicit request)")
-    asm.add_argument("--sanitize", choices=SANITIZE_MODES, default="off",
-                     help="dynamic kernel checkers (gpu mode; compute-"
-                          "sanitizer analogue: memcheck/racecheck/initcheck)")
+    asm.add_argument("--sanitize", choices=SANITIZE_MODES + ("rankcheck",),
+                     default="off",
+                     help="dynamic checkers: memcheck/racecheck/initcheck "
+                          "instrument the simulated GPU kernels (gpu mode); "
+                          "'rankcheck' instruments the process-rank k-mer "
+                          "exchange instead (vector-clock cross-rank race "
+                          "detection + segment-leak ledger; writes "
+                          "sanitizer_rank.json next to the contigs)")
     asm.add_argument("--overlap", choices=OVERLAP_MODES, default="off",
                      help="double-buffered GPU driver (gpu mode): stage batch "
                           "N+1 while batch N executes, overlap transfers with "
@@ -252,9 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
     ln = sub.add_parser("lint", help="static kernel-hygiene lint")
     ln.add_argument("paths", type=Path, nargs="*",
                     help="files or directories to lint (default: the "
-                         "repro kernel tree: core/ and gpusim/)")
+                         "repro kernel tree core/+gpusim/, or the "
+                         "concurrency surface with --concurrency)")
+    ln.add_argument("--concurrency", action="store_true",
+                    help="run the process-rank concurrency rules instead "
+                         "(segment/claim lifecycle pairing, lock-across-"
+                         "fork, rank nondeterminism, barrier-abort "
+                         "pairing)")
     ln.add_argument("--json", action="store_true", dest="as_json",
-                    help="emit findings as a JSON array")
+                    help="emit a sanitizer-schema JSON report (the same "
+                         "shape the dynamic checkers produce, so CI "
+                         "archives one artifact format)")
 
     return parser
 
@@ -299,15 +315,17 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         return 2
     print(f"loaded {len(reads):,} reads from {args.reads}")
 
+    rankcheck = args.sanitize == "rankcheck"
     config = PipelineConfig(
         k_series=tuple(args.k),
         min_kmer_count=args.min_kmer_count,
         kmer_ranks=args.ranks,
+        kmer_sanitize="rankcheck" if rankcheck else "off",
         local_assembly_mode=args.mode,
         local_assembly=LocalAssemblyConfig(max_reads_per_end=args.max_reads_per_end),
         local_assembly_workers=args.workers,
         local_assembly_engine=args.engine,
-        local_assembly_sanitize=args.sanitize,
+        local_assembly_sanitize="off" if rankcheck else args.sanitize,
         local_assembly_overlap=args.overlap,
         local_assembly_prefetch=args.prefetch,
         local_assembly_streams=args.streams,
@@ -333,6 +351,24 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
     report = result.summary()
     (args.out / "report.txt").write_text(report + "\n")
     print(report)
+    if rankcheck:
+        san = result.kmer_sanitizer
+        if san is None:
+            # checkpoint resume skipped the k-mer stage entirely
+            print("rankcheck: k-mer stage skipped (checkpoint resume), "
+                  "no exchange to check")
+        else:
+            (args.out / "sanitizer_rank.json").write_text(
+                json.dumps(san, indent=2) + "\n"
+            )
+            print(f"rankcheck: {san['n_errors']} error(s), "
+                  f"{san['n_checked']:,} accesses checked "
+                  f"-> {args.out / 'sanitizer_rank.json'}")
+            if san["n_errors"]:
+                for err in san["errors"]:
+                    print(f"  [{err['checker']}:{err['kind']}] {err['message']}",
+                          file=sys.stderr)
+                return 1
     print(f"\noutputs -> {args.out}")
     return 0
 
@@ -584,18 +620,32 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    import json
-
     import repro
-    from repro.sanitize import lint_paths
+    from repro.sanitize import (
+        collect_py_files,
+        conlint_files,
+        findings_report,
+        lint_files,
+    )
 
     paths = list(args.paths)
+    pkg = Path(repro.__file__).parent
     if not paths:
-        pkg = Path(repro.__file__).parent
-        paths = [pkg / "core", pkg / "gpusim"]
-    findings = lint_paths(paths)
+        if args.concurrency:
+            # the process-rank concurrency surface
+            paths = [
+                pkg / "distributed",
+                pkg / "gpusim" / "shmem.py",
+                pkg / "locking.py",
+                pkg / "service",
+            ]
+        else:
+            paths = [pkg / "core", pkg / "gpusim"]
+    files = collect_py_files(paths)
+    mode = "concheck" if args.concurrency else "lint"
+    findings = conlint_files(files) if args.concurrency else lint_files(files)
     if args.as_json:
-        print(json.dumps([f.to_dict() for f in findings], indent=2))
+        print(findings_report(findings, mode, len(files)).to_json())
     else:
         for f in findings:
             print(f)
@@ -603,7 +653,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"{len(findings)} lint finding(s)", file=sys.stderr)
         return 1
     if not args.as_json:
-        print(f"clean: {len(paths)} path(s) linted, no findings")
+        print(f"clean: {len(files)} file(s) linted ({mode}), no findings")
     return 0
 
 

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing as mp
+import shutil
 import sys
 import tempfile
 import time
@@ -80,6 +81,13 @@ from repro.gpusim.shmem import (
 )
 from repro.perf import HostProfiler
 from repro.pipeline.kmer_counts import KmerSpectrum, count_kmers
+from repro.sanitize.rankcheck import (
+    RANK_SANITIZE_MODES,
+    RankTracer,
+    SegmentLedger,
+    build_rank_report,
+    check_happens_before,
+)
 from repro.sequence.kmer import words_per_kmer
 from repro.sequence.read import ReadBatch
 
@@ -104,6 +112,17 @@ _N_METRICS = 8
 
 _STATUS_OK = 1
 _STATUS_FAILED = -1
+
+# Test-only fault injection (fork-inherited module globals, so tests can
+# flip them in the parent and the rank children see the values):
+# _INJECT_RACE makes the last rank re-write rank 0's outbox *after* the
+# barrier — value-neutral (same bytes), so results stay bit-identical,
+# but it is exactly the unsynchronized cross-rank write rankcheck must
+# flag.  _CRASH_RANK crashes that rank between publishing its outbox and
+# reaching the barrier — the abort route whose cleanup the crash tests
+# prove leaves /dev/shm empty.
+_INJECT_RACE = False
+_CRASH_RANK: int | None = None
 
 
 def _out_name(token: str, rank: int) -> str:
@@ -222,6 +241,7 @@ class RankRunReport:
     wall_s: float  # parent-side end-to-end wall clock
     per_rank: list[RankMetrics] = field(default_factory=list)
     profiles: list[dict] | None = None  # per-rank HostProfiler JSON
+    sanitizer: dict | None = None  # SanitizerReport JSON (sanitize=rankcheck)
 
     @property
     def cpu_critical_s(self) -> float:
@@ -234,7 +254,7 @@ class RankRunReport:
         return sum(m.cpu_s for m in self.per_rank)
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "n_ranks": self.n_ranks,
             "mode": self.mode,
             "wall_s": self.wall_s,
@@ -242,6 +262,9 @@ class RankRunReport:
             "cpu_total_s": self.cpu_total_s,
             "per_rank": [m.to_dict() for m in self.per_rank],
         }
+        if self.sanitizer is not None:
+            d["sanitizer"] = self.sanitizer
+        return d
 
 
 # -- the forked rank worker --------------------------------------------------
@@ -261,6 +284,7 @@ def _rank_main(
     barrier,
     timeout_s: float,
     profile_dir: str | None,
+    trace_dir: str | None = None,
 ) -> None:
     """Body of one rank process (fork-started: args are inherited, not
     pickled; the shared arrays are the parent's pages)."""
@@ -268,6 +292,7 @@ def _rank_main(
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
         prof = HostProfiler(enabled=profile_dir is not None)
+        tracer = RankTracer(rank) if trace_dir is not None else None
         nw = words_per_kmer(k)
         width = record_width(nw)
         label = f"rank{rank}"
@@ -286,28 +311,63 @@ def _rank_main(
         if rows.size:
             outbox[...] = rows
         counts[rank, :] = dest_counts
+        if tracer is not None:
+            tracer.write(f"out{rank}", 0, int(rows.size) * 8)
+            tracer.write("counts", rank * n_ranks * 8, (rank + 1) * n_ranks * 8)
         t_pack = time.perf_counter() - t0
         prof.add("pack", label, t0, t_pack)
 
+        if _CRASH_RANK is not None and rank == _CRASH_RANK:
+            raise RuntimeError("injected crash between publish and barrier")
+
         # Fence: every outbox and counts row is published past this point.
         barrier.wait(timeout=timeout_s)
+        if tracer is not None:
+            tracer.barrier()
 
         t0 = time.perf_counter()
         offs = np.zeros(n_ranks + 1, dtype=np.int64)
         shards: list[np.ndarray] = []
+        attached: list[np.ndarray] = []
         recv = 0
-        for src in range(n_ranks):
-            np.cumsum(counts[src], out=offs[1:])
-            if src == rank:
-                box = rows  # own outbox: already local
-            else:
-                box = attach_shared_array(
-                    _out_name(token, src), (int(offs[-1]), width), np.uint64
+        try:
+            for src in range(n_ranks):
+                np.cumsum(counts[src], out=offs[1:])
+                if tracer is not None:
+                    tracer.read(
+                        "counts", src * n_ranks * 8, (src + 1) * n_ranks * 8
+                    )
+                if src == rank:
+                    box = rows  # own outbox: already local
+                else:
+                    box = attach_shared_array(
+                        _out_name(token, src), (int(offs[-1]), width), np.uint64
+                    )
+                    attached.append(box)
+                mine = np.array(
+                    box[offs[rank] : offs[rank + 1]], dtype=np.uint64
                 )
-            mine = np.array(box[offs[rank] : offs[rank + 1]], dtype=np.uint64)
-            shards.append(mine)
-            if src != rank:
-                recv += len(mine)
+                if tracer is not None:
+                    tracer.read(
+                        f"out{src}",
+                        int(offs[rank]) * width * 8,
+                        int(offs[rank + 1]) * width * 8,
+                    )
+                if _INJECT_RACE and rank == n_ranks - 1 and rank != 0 and src == 0:
+                    # value-neutral: writes the bytes already there, so
+                    # results stay bit-identical — but it is a post-fence
+                    # write into a peer's put epoch, the exact hazard
+                    # sanitize=rankcheck exists to flag.
+                    snap = np.array(box)
+                    box[...] = snap
+                    if tracer is not None:
+                        tracer.write("out0", 0, int(snap.size) * 8)
+                shards.append(mine)
+                if src != rank:
+                    recv += len(mine)
+        finally:
+            for box in attached:
+                box.close()
         t_exch = time.perf_counter() - t0
         prof.add("exchange", label, t0, t_exch)
 
@@ -322,6 +382,9 @@ def _rank_main(
         if own_rows.size:
             ownbox[...] = own_rows
         own_counts[rank] = len(owned)
+        if tracer is not None:
+            tracer.write(f"own{rank}", 0, int(own_rows.size) * 8)
+            tracer.write("own_counts", rank * 8, (rank + 1) * 8)
         t_merge = time.perf_counter() - t0
         prof.add("merge", label, t0, t_merge)
 
@@ -335,10 +398,16 @@ def _rank_main(
             int(dest_counts.sum()) - int(dest_counts[rank])
         )
         metrics[rank, _M_RECV] = float(recv)
+        if tracer is not None:
+            tracer.write(
+                "metrics", rank * _N_METRICS * 8, (rank + 1) * _N_METRICS * 8
+            )
+            tracer.write("status", rank * 8, (rank + 1) * 8)
+            tracer.dump(Path(trace_dir) / f"rank{rank}.json")
         if profile_dir is not None:
             prof.save_json(Path(profile_dir) / f"rank{rank}.json")
         status[rank] = _STATUS_OK
-    except Exception:  # pragma: no cover - exercised via crash tests
+    except Exception:
         traceback.print_exc()
         status[rank] = _STATUS_FAILED
         try:
@@ -360,6 +429,7 @@ def distributed_count_proc(
     profile: bool = False,
     timeout_s: float = 120.0,
     comm: CommCostModel | None = None,
+    sanitize: str = "off",
 ) -> tuple[KmerSpectrum, ExchangeStats, RankRunReport]:
     """Count k-mers across *n_ranks* real processes; merge the shards.
 
@@ -368,43 +438,64 @@ def distributed_count_proc(
     measured from the counts matrix (with the modelled alltoall time as
     an overlay), and a :class:`RankRunReport` of per-rank measurements.
 
+    ``sanitize="rankcheck"`` traces every segment access per rank, runs
+    the vector-clock happens-before check plus a before/after segment
+    ledger diff, and attaches the structured report as
+    ``report.sanitizer`` (tracing is observation only: results stay
+    bit-identical).
+
     Falls back to an in-process run of the identical exchange logic when
     fork/shared-memory is unavailable (``report.mode == "inproc"``).
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
+    if sanitize not in RANK_SANITIZE_MODES:
+        raise ValueError(
+            f"unknown sanitize mode {sanitize!r}; expected one of "
+            f"{RANK_SANITIZE_MODES}"
+        )
     comm = comm or CommCostModel()
     if not procrank_available():
         return _distributed_count_inproc(
-            batch, k, n_ranks, min_count, min_qual, profile, comm
+            batch, k, n_ranks, min_count, min_qual, profile, comm, sanitize
         )
 
     ctx = mp.get_context("fork")
     token = launch_token()
     nw = words_per_kmer(k)
+    ledger = SegmentLedger() if sanitize == "rankcheck" else None
+    shm_before = ledger.snapshot() if ledger is not None else frozenset()
+    races: list = []
+    n_checked = 0
     # Register every derivable name *before* forking: if anything below
     # raises, the atexit sweep still unlinks whatever got created.
     for r in range(n_ranks):
         register_launch_segment(token, _out_name(token, r))
         register_launch_segment(token, _own_name(token, r))
 
-    counts = create_shared_array((n_ranks, n_ranks), np.int64)
-    own_counts = create_shared_array((n_ranks,), np.int64)
-    metrics = create_shared_array((n_ranks, _N_METRICS), np.float64)
-    status = create_shared_array((n_ranks,), np.int64)
-    barrier = ctx.Barrier(n_ranks)
-
-    profile_dir = tempfile.mkdtemp(prefix="repro-rankprof-") if profile else None
+    counts = own_counts = metrics = status = None
+    profile_dir = trace_dir = None
     wall0 = time.perf_counter()
     procs = []
+    result = None
     try:
+        counts = create_shared_array((n_ranks, n_ranks), np.int64)
+        own_counts = create_shared_array((n_ranks,), np.int64)
+        metrics = create_shared_array((n_ranks, _N_METRICS), np.float64)
+        status = create_shared_array((n_ranks,), np.int64)
+        barrier = ctx.Barrier(n_ranks)
+        if profile:
+            profile_dir = tempfile.mkdtemp(prefix="repro-rankprof-")
+        if ledger is not None:
+            trace_dir = tempfile.mkdtemp(prefix="repro-ranktrace-")
+
         for r in range(n_ranks):
             p = ctx.Process(
                 target=_rank_main,
                 args=(
                     r, batch, k, n_ranks, min_qual, token,
                     counts, own_counts, metrics, status, barrier,
-                    timeout_s, profile_dir,
+                    timeout_s, profile_dir, trace_dir,
                 ),
                 name=f"repro-rank{r}",
             )
@@ -431,13 +522,28 @@ def distributed_count_proc(
 
         width = record_width(nw)
         owned = []
-        for r in range(n_ranks):
-            n = int(own_counts[r])
-            shard = attach_shared_array(_own_name(token, r), (n, width), np.uint64)
-            owned.append(spectrum_from_records(np.array(shard), k))
+        shards = []
+        try:
+            for r in range(n_ranks):
+                n = int(own_counts[r])
+                shard = attach_shared_array(
+                    _own_name(token, r), (n, width), np.uint64
+                )
+                shards.append(shard)
+                owned.append(spectrum_from_records(np.array(shard), k))
+        finally:
+            for shard in shards:
+                shard.close()
         merged = merge_spectra(owned, k)
         if min_count > 1:
             merged = merged.filtered(min_count)
+
+        if trace_dir is not None:
+            events = [
+                RankTracer.load(Path(trace_dir) / f"rank{r}.json")
+                for r in range(n_ranks)
+            ]
+            races, n_checked = check_happens_before(events)
 
         wall = time.perf_counter() - wall0
         stats = _stats_from_counts(np.array(counts), nw, comm)
@@ -460,11 +566,23 @@ def distributed_count_proc(
         )
         if profile_dir is not None:
             report.profiles = _load_rank_profiles(profile_dir, n_ranks)
-        return merged, stats, report
+        result = (merged, stats, report)
     finally:
         cleanup_launch_segments(token)
         for arr in (counts, own_counts, metrics, status):
-            arr.unlink()
+            if arr is not None:
+                arr.unlink()
+        for d in (profile_dir, trace_dir):
+            if d is not None:
+                shutil.rmtree(d, ignore_errors=True)
+    if ledger is not None:
+        # Leak diff runs *after* the cleanup above: anything still live
+        # now genuinely escaped the launch's own lifecycle.
+        leaked = ledger.leaked(shm_before, ledger.snapshot())
+        result[2].sanitizer = build_rank_report(
+            races, leaked, n_checked
+        ).to_dict()
+    return result
 
 
 def _stats_from_counts(
@@ -503,6 +621,7 @@ def _distributed_count_inproc(
     min_qual: int,
     profile: bool,
     comm: CommCostModel,
+    sanitize: str = "off",
 ) -> tuple[KmerSpectrum, ExchangeStats, RankRunReport]:
     """The identical exchange logic run sequentially in one process —
     the fallback when fork/shared memory is unavailable, and the
@@ -569,6 +688,10 @@ def _distributed_count_inproc(
         per_rank=per_rank,
         profiles=[p.to_json() for p in profs] if profile else None,
     )
+    if sanitize == "rankcheck":
+        # One process, no shared segments: trivially race- and
+        # leak-free, but callers still get the report they asked for.
+        report.sanitizer = build_rank_report([], [], 0).to_dict()
     return merged, stats, report
 
 

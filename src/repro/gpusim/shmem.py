@@ -133,6 +133,21 @@ class SharedNDArray(np.ndarray):
             except FileNotFoundError:
                 pass
 
+    def close(self) -> None:
+        """Best-effort release of this process's mapping.
+
+        CPython refuses to close a segment whose buffer is still
+        exported by a live ndarray (``BufferError``) — force-closing
+        would leave the array pointing at unmapped pages.  In that case
+        the mapping is released when the views are garbage-collected
+        instead: ``close`` is advisory, ``unlink`` is the hard cleanup.
+        """
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                pass
+
 
 def _wrap(shm, shape, dtype) -> SharedNDArray:
     arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf).view(SharedNDArray)

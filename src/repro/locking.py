@@ -18,6 +18,13 @@ Semantics:
 * :meth:`release` unlinks the file only when the payload still carries
   this claim's token — releasing a claim someone else broke and re-took
   must not steal *their* ownership.
+* breaking a stale claim is serialised through a sidecar **breaker
+  lock** (``<path>.break``, itself O_EXCL): two live processes can both
+  observe the same dead owner, and without mutual exclusion the slower
+  breaker would unlink the claim the faster one just broke and
+  re-created — stealing live ownership.  Only the sidecar holder
+  unlinks, staleness is re-verified under the lock, and a breaker that
+  crashes mid-break leaves a dead-PID sidecar the next breaker removes.
 
 This is an advisory lock: correctness-critical writes (checkpoints,
 job.json) stay atomic via temp-file + ``os.replace`` regardless, and the
@@ -101,6 +108,66 @@ class ClaimFile:
         self.held = True
         return True
 
+    def _breaker_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".break")
+
+    def _break_and_reacquire(self) -> bool:
+        """Break a stale claim under the sidecar breaker lock.
+
+        Returns True only when this process both won the sidecar and
+        re-acquired the claim.  Losing the sidecar race is a clean
+        False: the winner is mid-break, and our next :meth:`acquire`
+        will find either their live claim or a free path.
+        """
+        breaker = self._breaker_path()
+        try:
+            fd = os.open(breaker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Another breaker holds the sidecar.  Remove it only when it
+            # is provably a corpse (dead PID, or torn and past the
+            # grace window) so a crashed breaker can't wedge the claim.
+            try:
+                pid = int(json.loads(breaker.read_text()).get("pid", -1))
+                dead = not pid_alive(pid)
+            except (OSError, ValueError):
+                try:
+                    dead = time.time() - breaker.stat().st_mtime > _TORN_GRACE_S
+                except OSError:
+                    dead = False
+            if dead:
+                try:
+                    breaker.unlink()
+                except OSError:
+                    pass
+            return False
+        except OSError:
+            return False
+        try:
+            os.write(
+                fd,
+                json.dumps({"pid": os.getpid(), "time": time.time()}).encode(
+                    "ascii"
+                ),
+            )
+        finally:
+            os.close(fd)
+        try:
+            # Re-verify under the lock: between our stale observation
+            # and winning the sidecar, another breaker may already have
+            # broken and re-taken the claim — it is live again.
+            if not self._stale():
+                return False
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+            return self._try_create()
+        finally:
+            try:
+                breaker.unlink()
+            except OSError:
+                pass
+
     def acquire(self) -> bool:
         """Take the claim; breaks a stale (dead-owner/torn) one first."""
         if self.held:
@@ -108,13 +175,7 @@ class ClaimFile:
         if self._try_create():
             return True
         if self._stale():
-            # Unlink-and-retry; a racing breaker may win, in which case
-            # the second create fails against the *new* live owner.
-            try:
-                self.path.unlink()
-            except OSError:
-                pass
-            return self._try_create()
+            return self._break_and_reacquire()
         return False
 
     def release(self) -> None:

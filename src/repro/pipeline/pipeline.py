@@ -47,6 +47,10 @@ class PipelineConfig:
     #: >1 forks real rank processes with a shared-memory exchange —
     #: bit-identical spectrum, so checkpoints/cache keys are unaffected)
     kmer_ranks: int = 1
+    #: concurrency checker for the rank exchange ("off" | "rankcheck"):
+    #: vector-clock happens-before race detection over the shared
+    #: segments plus a before/after segment-leak ledger
+    kmer_sanitize: str = "off"
     min_contig_len: int | None = None
     # alignment
     seed_len: int = 17
@@ -97,6 +101,12 @@ class PipelineConfig:
             raise ValueError("local_assembly_mode must be 'cpu' or 'gpu'")
         if self.kmer_ranks < 1:
             raise ValueError("kmer_ranks must be >= 1")
+        from repro.sanitize.rankcheck import RANK_SANITIZE_MODES
+
+        if self.kmer_sanitize not in RANK_SANITIZE_MODES:
+            raise ValueError(
+                f"kmer_sanitize must be one of {RANK_SANITIZE_MODES}"
+            )
         from repro.gpusim import ENGINE_MODES
 
         if self.local_assembly_engine not in ENGINE_MODES:
@@ -143,6 +153,9 @@ class AssemblyResult:
     alignment: AlignmentResult
     local_assembly: LocalAssemblyReport
     config: PipelineConfig
+    #: SanitizerReport JSON of the rank exchange (kmer_sanitize mode;
+    #: None when off or when the checkpoint skipped the k-mer stage)
+    kmer_sanitizer: dict | None = None
 
     def summary(self) -> str:
         lines = [
@@ -203,13 +216,14 @@ def run_pipeline(
 
     contigs = ContigSet()
     n_distinct = 0
+    kmer_sanitizer: dict | None = None
     if resumed is not None:
         contigs, n_distinct = resumed
     else:
         counting_input = merged
         for round_idx, k in enumerate(config.k_series):
             with times.stage("k-mer analysis"):
-                if config.kmer_ranks > 1:
+                if config.kmer_ranks > 1 or config.kmer_sanitize != "off":
                     # Real process ranks with a shared-memory exchange;
                     # the merged spectrum is bit-identical to the
                     # sequential count, so everything downstream
@@ -217,13 +231,22 @@ def run_pipeline(
                     from repro.distributed.procrank import distributed_count_proc
                     from repro.pipeline.kmer_analysis import classify_spectrum
 
-                    spectrum, _, _ = distributed_count_proc(
+                    spectrum, _, rank_report = distributed_count_proc(
                         counting_input,
                         k,
                         config.kmer_ranks,
                         min_count=config.min_kmer_count,
                         min_qual=config.min_kmer_qual,
+                        sanitize=config.kmer_sanitize,
                     )
+                    if rank_report.sanitizer is not None:
+                        # keep the worst round: any round with findings
+                        # must survive to the result
+                        if (
+                            kmer_sanitizer is None
+                            or rank_report.sanitizer["n_errors"]
+                        ):
+                            kmer_sanitizer = rank_report.sanitizer
                     classified = classify_spectrum(spectrum, config.min_depth)
                 else:
                     classified = analyze_kmers(
@@ -315,4 +338,5 @@ def run_pipeline(
         alignment=aln,
         local_assembly=la_report,
         config=config,
+        kmer_sanitizer=kmer_sanitizer,
     )

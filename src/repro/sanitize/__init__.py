@@ -9,9 +9,21 @@ and :class:`~repro.gpusim.memory.DeviceAllocator`.
 
 Static side (:func:`lint_paths`): AST hygiene rules over kernel source —
 twin signature/counter parity, banned impure calls, discarded atomics.
+The concurrency checkers of the process-rank era live next door:
+:func:`conlint_paths` (segment/claim lifecycle pairing, fork safety,
+barrier-abort pairing) and :mod:`repro.sanitize.rankcheck` (the dynamic
+vector-clock cross-rank race detector + segment-leak ledger behind
+``sanitize=rankcheck``).
 """
 
-from repro.sanitize.lint import LintFinding, lint_files, lint_paths
+from repro.sanitize.concheck import CONCURRENCY_RULES, conlint_files, conlint_paths
+from repro.sanitize.lint import (
+    LintFinding,
+    collect_py_files,
+    findings_report,
+    lint_files,
+    lint_paths,
+)
 from repro.sanitize.report import (
     MAX_ERRORS,
     SANITIZE_MODES,
@@ -21,12 +33,17 @@ from repro.sanitize.report import (
 from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = [
+    "CONCURRENCY_RULES",
     "MAX_ERRORS",
     "SANITIZE_MODES",
     "LintFinding",
     "Sanitizer",
     "SanitizerError",
     "SanitizerReport",
+    "collect_py_files",
+    "conlint_files",
+    "conlint_paths",
+    "findings_report",
     "lint_files",
     "lint_paths",
 ]

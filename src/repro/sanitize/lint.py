@@ -34,7 +34,13 @@ import ast
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-__all__ = ["LintFinding", "lint_paths", "lint_files"]
+__all__ = [
+    "LintFinding",
+    "lint_paths",
+    "lint_files",
+    "collect_py_files",
+    "findings_report",
+]
 
 #: Warp method -> counter classes it bumps (sequential interpreter).
 _SEQ_COUNTERS = {
@@ -369,8 +375,8 @@ def lint_files(files: list[Path]) -> list[LintFinding]:
     return findings
 
 
-def lint_paths(paths: list[Path | str]) -> list[LintFinding]:
-    """Lint every ``.py`` file under *paths* (files or directories)."""
+def collect_py_files(paths: list[Path | str]) -> list[Path]:
+    """Every ``.py`` file under *paths* (files or directories), sorted."""
     files: list[Path] = []
     for p in paths:
         p = Path(p)
@@ -378,4 +384,37 @@ def lint_paths(paths: list[Path | str]) -> list[LintFinding]:
             files.extend(sorted(p.rglob("*.py")))
         elif p.suffix == ".py":
             files.append(p)
-    return lint_files(files)
+    return files
+
+
+def lint_paths(paths: list[Path | str]) -> list[LintFinding]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    return lint_files(collect_py_files(paths))
+
+
+def findings_report(findings, mode: str, n_checked: int):
+    """Package lint findings in the sanitizer-report JSON schema.
+
+    CI archives every checker's output through one schema
+    (:class:`~repro.sanitize.report.SanitizerReport`); for static
+    findings ``kernel`` carries the file path, ``warp`` the line number,
+    and ``kind`` the rule name.  ``n_checked`` is the file count.
+    """
+    from repro.sanitize.report import SanitizerError, SanitizerReport
+
+    report = SanitizerReport(mode=mode, n_checked=n_checked)
+    for f in findings:
+        report.errors.append(
+            SanitizerError(
+                checker=mode,
+                kind=f.rule,
+                kernel=f.path,
+                bin="",
+                warp=f.line,
+                lane=-1,
+                address=0,
+                message=f.message,
+                details={"path": f.path, "line": f.line, "rule": f.rule},
+            )
+        )
+    return report

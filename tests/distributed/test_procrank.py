@@ -198,6 +198,60 @@ class TestProcessRanks:
             distributed_count_proc(batch, 21, 0)
 
 
+class TestCrashRecovery:
+    """Satellite: a rank crashing between publish and barrier must not
+    leave segments behind — the survivors abort, the parent sweeps."""
+
+    def _shm_snapshot(self):
+        try:
+            names = os.listdir("/dev/shm")
+        except OSError:
+            return frozenset()
+        return frozenset(n for n in names if n.startswith(("psm_", "repro-")))
+
+    def test_crash_between_publish_and_barrier_leaves_shm_clean(self, batch):
+        import repro.distributed.procrank as pr
+
+        before = self._shm_snapshot()
+        pr._CRASH_RANK = 1
+        try:
+            with pytest.raises(RuntimeError, match="rank process"):
+                pr.distributed_count_proc(batch, 21, 2, min_count=2)
+        finally:
+            pr._CRASH_RANK = None
+        leaked = sorted(self._shm_snapshot() - before)
+        assert leaked == []
+
+    def test_crash_under_rankcheck_still_sweeps(self, batch):
+        import repro.distributed.procrank as pr
+
+        before = self._shm_snapshot()
+        pr._CRASH_RANK = 0
+        try:
+            with pytest.raises(RuntimeError, match="rank process"):
+                pr.distributed_count_proc(
+                    batch, 21, 2, min_count=2, sanitize="rankcheck"
+                )
+        finally:
+            pr._CRASH_RANK = None
+        leaked = sorted(self._shm_snapshot() - before)
+        assert leaked == []
+
+    def test_next_launch_after_crash_is_healthy(self, batch):
+        import repro.distributed.procrank as pr
+
+        pr._CRASH_RANK = 1
+        try:
+            with pytest.raises(RuntimeError):
+                pr.distributed_count_proc(batch, 21, 2, min_count=2)
+        finally:
+            pr._CRASH_RANK = None
+        single = count_kmers(batch, 21, min_count=2)
+        spec, _, report = pr.distributed_count_proc(batch, 21, 2, min_count=2)
+        assert report.mode == "procrank"
+        assert _spectra_equal(single, spec)
+
+
 class TestSegmentNaming:
     """Satellite: per-launch tokens make concurrent launches collision-proof."""
 

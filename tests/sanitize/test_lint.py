@@ -144,5 +144,9 @@ class TestCli:
         bad.write_text(ATOMIC_DISCARD)
         assert main(["lint", str(bad), "--json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload[0]["rule"] == "atomic-discard"
-        assert payload[0]["line"] == 2
+        assert payload["mode"] == "lint"
+        assert payload["n_errors"] == 1
+        (err,) = payload["errors"]
+        assert err["kind"] == "atomic-discard"
+        assert err["details"]["rule"] == "atomic-discard"
+        assert err["warp"] == 2  # the finding's line

@@ -117,6 +117,133 @@ class TestCrashRecovery:
         assert json.loads(path.read_text())["token"] == "other"
 
 
+class TestGraceWindowBoundary:
+    """The torn-claim grace window is a hard boundary: an unreadable
+    claim just *under* the window may still be mid-write and must be
+    respected; just *over* it, the owner can never be identified and
+    the claim must break."""
+
+    def test_just_under_grace_is_respected(self, tmp_path):
+        from repro.locking import _TORN_GRACE_S
+
+        path = tmp_path / "c"
+        path.write_bytes(b"")
+        t = time.time() - (_TORN_GRACE_S - 1.0)
+        os.utime(path, (t, t))
+        assert not ClaimFile(path).acquire()
+        assert path.exists()
+
+    def test_just_over_grace_is_broken(self, tmp_path):
+        from repro.locking import _TORN_GRACE_S
+
+        path = tmp_path / "c"
+        path.write_bytes(b"")
+        t = time.time() - (_TORN_GRACE_S + 1.0)
+        os.utime(path, (t, t))
+        claim = ClaimFile(path)
+        assert claim.acquire()
+        claim.release()
+        assert not path.exists()
+
+
+class TestStaleTokenRelease:
+    def test_release_with_stale_token_leaves_new_claim(self, tmp_path):
+        """A releaser whose token no longer matches the payload (claim
+        broken and re-taken while it was descheduled) must not unlink."""
+        path = tmp_path / "c"
+        a = ClaimFile(path)
+        assert a.acquire()
+        b = ClaimFile(path)
+        # simulate: a's owner "dies" from b's point of view, b breaks it
+        path.write_text(json.dumps({"pid": _dead_pid(), "token": a.token, "time": 0}))
+        assert b.acquire()
+        a.held = True  # a believes it still holds the claim
+        a.release()
+        assert path.exists()
+        assert json.loads(path.read_text())["token"] == b.token
+        b.release()
+        assert not path.exists()
+
+
+def _race_breaker(path, barrier, q):
+    claim = ClaimFile(path)
+    barrier.wait()  # both breakers observe the stale claim together
+    got = claim.acquire()
+    q.put((os.getpid(), got, claim.token))
+    if got:
+        time.sleep(0.5)  # stay alive long enough for the loser to retry
+        claim.release()
+    os._exit(0)
+
+
+class TestBreakerRace:
+    """Two *live* breakers racing to break one stale claim: exactly one
+    may win, and the loser must never unlink the winner's fresh claim
+    (the TOCTOU the sidecar breaker lock exists to close)."""
+
+    def test_two_live_breakers_exactly_one_wins(self, tmp_path):
+        path = tmp_path / "c"
+        path.write_text(json.dumps({"pid": _dead_pid(), "token": "x", "time": 0}))
+        ctx = mp.get_context("fork")
+        barrier = ctx.Barrier(2)
+        q = ctx.SimpleQueue()
+        procs = [
+            ctx.Process(target=_race_breaker, args=(path, barrier, q))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        results = [q.get() for _ in range(2)]
+        for p in procs:
+            p.join()
+        winners = [r for r in results if r[1]]
+        assert len(winners) == 1, results
+        # while the winner held it, the file carried the winner's token
+        # (released after its sleep, so it is gone now)
+        assert not path.exists()
+
+    def test_slow_breaker_cannot_steal_fresh_claim(self, tmp_path):
+        """Deterministic replay of the worst-case interleave: B decided
+        the claim was stale, then A broke and re-acquired it.  B's break
+        attempt must re-verify under the sidecar and back off."""
+        path = tmp_path / "c"
+        path.write_text(json.dumps({"pid": _dead_pid(), "token": "x", "time": 0}))
+        a, b = ClaimFile(path), ClaimFile(path)
+        assert a._stale() and b._stale()  # both observed the dead owner
+        assert a.acquire()  # A wins the break
+        # B acts on its stale observation directly (the old unlink-and-
+        # retry would remove A's live claim here)
+        assert not b._break_and_reacquire()
+        assert path.exists()
+        assert json.loads(path.read_text())["token"] == a.token
+        a.release()
+
+    def test_crashed_breaker_sidecar_does_not_wedge(self, tmp_path):
+        """A breaker that died holding the sidecar must not block
+        breaking forever: a dead-PID sidecar is removed and the next
+        acquire succeeds."""
+        path = tmp_path / "c"
+        path.write_text(json.dumps({"pid": _dead_pid(), "token": "x", "time": 0}))
+        sidecar = path.with_name(path.name + ".break")
+        sidecar.write_text(json.dumps({"pid": _dead_pid(), "time": 0}))
+        claim = ClaimFile(path)
+        assert not claim.acquire()  # first pass: clears the corpse sidecar
+        assert not sidecar.exists()
+        assert claim.acquire()  # second pass: breaks the stale claim
+        claim.release()
+
+    def test_live_sidecar_holder_is_respected(self, tmp_path):
+        path = tmp_path / "c"
+        path.write_text(json.dumps({"pid": _dead_pid(), "token": "x", "time": 0}))
+        sidecar = path.with_name(path.name + ".break")
+        sidecar.write_text(json.dumps({"pid": os.getpid(), "time": time.time()}))
+        claim = ClaimFile(path)
+        assert not claim.acquire()  # mid-break by a live peer: back off
+        assert sidecar.exists()
+        assert path.exists()  # and the stale claim was not touched
+        sidecar.unlink()
+
+
 class TestPidAlive:
     def test_self_is_alive(self):
         assert pid_alive(os.getpid())
