@@ -144,6 +144,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process ranks for k-mer analysis (>1 forks real "
                           "rank processes with a shared-memory exchange; "
                           "bit-identical output at every rank count)")
+    asm.add_argument("--aln-ranks", type=_positive_int, default=1,
+                     help="process ranks for the alignment stage (>1 shards "
+                          "reads over forked ranks sharing the seed index "
+                          "through broadcast shared-memory segments; "
+                          "bit-identical output at every rank count)")
 
     st = sub.add_parser("stats", help="assembly statistics for FASTA files")
     st.add_argument("fastas", type=Path, nargs="+")
@@ -321,6 +326,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         min_kmer_count=args.min_kmer_count,
         kmer_ranks=args.ranks,
         kmer_sanitize="rankcheck" if rankcheck else "off",
+        aln_ranks=args.aln_ranks,
         local_assembly_mode=args.mode,
         local_assembly=LocalAssemblyConfig(max_reads_per_end=args.max_reads_per_end),
         local_assembly_workers=args.workers,

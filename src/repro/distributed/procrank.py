@@ -63,6 +63,7 @@ from repro.distributed.comm import CommCostModel
 from repro.distributed.rank import (
     RECORD_BYTES,
     ExchangeStats,
+    _partition_bounds,
     merge_spectra,
     owner_of_words,
     pack_records,
@@ -101,10 +102,19 @@ __all__ = [
     "ranked_extend_tasks",
     "RankedAssemblyReport",
     "RANK_PHASES",
+    "ranked_align",
+    "AlnRankMetrics",
+    "ALN_RANK_PHASES",
+    "aln_wire_rows",
+    "rows_from_wire",
+    "group_rows_by_owner",
 ]
 
 #: per-rank phases of the distributed count, in execution order.
 RANK_PHASES = ("count", "pack", "exchange", "merge")
+
+#: per-rank phases of the ranked alignment, in execution order.
+ALN_RANK_PHASES = ("align", "pack", "exchange", "flags")
 
 # metrics columns in the shared (R, _N_METRICS) float64 array
 _M_WALL, _M_CPU, _M_COUNT, _M_PACK, _M_EXCH, _M_MERGE, _M_SENT, _M_RECV = range(8)
@@ -837,3 +847,641 @@ def ranked_extend_tasks(
         per_rank=per_rank,
     )
     return merged, report
+
+
+# -- ranked alignment (the batched aligner across real process ranks) --------
+#
+# The alignment analogue of the k-mer exchange above: reads are sharded
+# contiguously across ranks (pair-aligned, same partition the k-mer
+# ranks use), the packed seed index is *broadcast* once through named
+# shared segments (every rank attaches the same pages — the laptop
+# analogue of klign's replicated-on-node seed table), each rank runs
+# :func:`~repro.pipeline.alignment.align_core` over its shard, and the
+# winner rows are exchanged to *owner* ranks by ``cid % n_ranks`` so
+# each owner holds every row of its contigs and can apply the per-end
+# recruitment caps exactly.  The parent merges the owner shards back
+# into global emission order, so the result is bit-identical to the
+# single-process :func:`~repro.pipeline.alignment.align_reads` at every
+# rank count — the invariant the property tests enforce.
+
+#: wire row layout of one winner alignment (all int64):
+#: read, seq_in_read, cid, offset, is_rc, matches, mismatches, ov_len
+_ALN_COLS = 8
+#: owner rows append the recruit flags: ... , left, right
+_ALN_OWN_COLS = _ALN_COLS + 2
+_ALN_ROW_BYTES = _ALN_COLS * 8
+
+#: seed-index arrays broadcast through shared memory, by field name.
+_IDX_FIELDS = ("words", "slot", "pos", "cbases", "coff", "cids")
+
+
+def _aout_name(token: str, rank: int) -> str:
+    return f"repro-{token}-aout{rank}"
+
+
+def _aown_name(token: str, rank: int) -> str:
+    return f"repro-{token}-aown{rank}"
+
+
+def _idx_name(token: str, fieldname: str) -> str:
+    return f"repro-{token}-idx-{fieldname}"
+
+
+@dataclass
+class AlnRankMetrics:
+    """Measured per-rank accounting of one ranked alignment."""
+
+    rank: int
+    wall_s: float
+    cpu_s: float
+    align_s: float
+    pack_s: float
+    exchange_s: float
+    flags_s: float
+    sent_rows: int
+    recv_rows: int
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "align_s": self.align_s,
+            "pack_s": self.pack_s,
+            "exchange_s": self.exchange_s,
+            "flags_s": self.flags_s,
+            "sent_rows": self.sent_rows,
+            "recv_rows": self.recv_rows,
+        }
+
+
+# -- pure wire-format building blocks (transport-free, unit-testable) --------
+
+
+def aln_wire_rows(rows) -> np.ndarray:
+    """Flatten an :class:`~repro.pipeline.alignment.AlnRows` into the
+    ``(n, 8)`` int64 wire matrix (column order in :data:`_ALN_COLS`'s
+    doc comment)."""
+    w = np.empty((len(rows), _ALN_COLS), dtype=np.int64)
+    w[:, 0] = rows.read
+    w[:, 1] = rows.seq_in_read
+    w[:, 2] = rows.cid
+    w[:, 3] = rows.offset
+    w[:, 4] = rows.is_rc
+    w[:, 5] = rows.matches
+    w[:, 6] = rows.mismatches
+    w[:, 7] = rows.ov_len
+    return w
+
+
+def rows_from_wire(
+    wire: np.ndarray, n_seed_hits: int = 0, n_reads_aligned: int = 0
+):
+    """Inverse of :func:`aln_wire_rows` (columns become views)."""
+    from repro.pipeline.alignment import AlnRows
+
+    w = np.ascontiguousarray(wire, dtype=np.int64)
+    return AlnRows(
+        read=w[:, 0],
+        seq_in_read=w[:, 1],
+        cid=w[:, 2],
+        offset=w[:, 3],
+        is_rc=w[:, 4].astype(bool),
+        matches=w[:, 5],
+        mismatches=w[:, 6],
+        ov_len=w[:, 7],
+        n_seed_hits=n_seed_hits,
+        n_reads_aligned=n_reads_aligned,
+    )
+
+
+def group_rows_by_owner(
+    wire: np.ndarray, n_ranks: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group wire rows by owner rank (``cid % n_ranks``), stably.
+
+    Returns ``(rows, dest_counts)`` in outbox layout: owner 0's rows
+    first, then owner 1's, …, each destination slice still in emission
+    order (the stable sort preserves it) — which is what lets owners
+    apply the first-N-per-cid recruitment caps exactly.
+    """
+    if wire.shape[0] == 0:
+        return wire, np.zeros(n_ranks, dtype=np.int64)
+    owner = wire[:, 2] % n_ranks
+    order = np.argsort(owner, kind="stable")
+    dest_counts = np.bincount(owner, minlength=n_ranks).astype(np.int64)
+    return wire[order], dest_counts
+
+
+def _aln_stats_from_counts(
+    counts: np.ndarray, comm: CommCostModel
+) -> ExchangeStats:
+    """Exchange volume of the alignment-row shuffle (64-byte rows).
+
+    ``total_kmers_sent`` carries the row count — the field predates the
+    alignment exchange; the bench reports it as ``rows_sent``.
+    """
+    n_ranks = counts.shape[0]
+    offdiag = counts.copy()
+    np.fill_diagonal(offdiag, 0)
+    bytes_per_rank = offdiag.sum(axis=1) * _ALN_ROW_BYTES
+    bytes_max = int(bytes_per_rank.max()) if n_ranks > 1 else 0
+    return ExchangeStats(
+        n_ranks=n_ranks,
+        total_kmers_sent=int(offdiag.sum()),
+        bytes_per_rank_max=bytes_max,
+        modelled_time_s=comm.alltoall_time(bytes_max, n_ranks),
+    )
+
+
+def _publish_index(token: str, index) -> tuple[dict, list]:
+    """Copy a :class:`~repro.pipeline.alignment.PackedSeedIndex`'s flat
+    arrays into named shared segments; returns the attach metadata
+    ``{field: (shape, dtype_str)}`` plus the root arrays (kept alive by
+    the caller until the ranks have attached)."""
+    fields = {
+        "words": index.words,
+        "slot": index.slot,
+        "pos": index.pos,
+        "cbases": index.cbases,
+        "coff": index.coff,
+        "cids": index.cids,
+    }
+    meta: dict = {}
+    segs: list = []
+    for fieldname in _IDX_FIELDS:
+        arr = fields[fieldname]
+        seg = create_named_shared_array(
+            _idx_name(token, fieldname), arr.shape, arr.dtype
+        )
+        if arr.size:
+            seg[...] = arr
+        segs.append(seg)
+        meta[fieldname] = (arr.shape, arr.dtype.str)
+    return meta, segs
+
+
+def _attach_index(token: str, idx_meta: dict, seed_len: int, stride: int):
+    """Attach the broadcast seed-index segments and rebuild the index
+    (zero-copy: the index arrays are views over the shared pages).
+    Returns ``(index, segments)``; the caller closes the segments."""
+    from repro.pipeline.alignment import PackedSeedIndex
+
+    segs: list = []
+    arrs: dict = {}
+    for fieldname in _IDX_FIELDS:
+        shape, dt = idx_meta[fieldname]
+        seg = attach_shared_array(_idx_name(token, fieldname), shape, dt)
+        segs.append(seg)
+        arrs[fieldname] = seg
+    index = PackedSeedIndex.from_arrays(
+        seed_len,
+        arrs["cids"],
+        arrs["cbases"],
+        arrs["coff"],
+        arrs["words"],
+        arrs["slot"],
+        arrs["pos"],
+        stride=stride,
+    )
+    return index, segs
+
+
+def _aln_rank_main(
+    rank: int,
+    batch: ReadBatch,
+    n_ranks: int,
+    token: str,
+    idx_meta: dict,
+    seed_len: int,
+    aln_params: dict,
+    contig_len_of: np.ndarray,
+    max_reads_per_end: int,
+    counts: np.ndarray,
+    own_counts: np.ndarray,
+    aln_stats: np.ndarray,
+    metrics: np.ndarray,
+    status: np.ndarray,
+    barrier,
+    timeout_s: float,
+    profile_dir: str | None,
+) -> None:
+    """Body of one alignment rank (fork-started; shared arrays are the
+    parent's pages, the read batch is fork-inherited)."""
+    from repro.pipeline.alignment import recruit_flags
+
+    try:
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        prof = HostProfiler(enabled=profile_dir is not None)
+        label = f"rank{rank}"
+
+        t0 = time.perf_counter()
+        index, segs = _attach_index(token, idx_meta, seed_len, stride=1)
+        try:
+            from repro.pipeline.alignment import align_core
+
+            bounds = _partition_bounds(batch, n_ranks)
+            shard = partition_part(batch, n_ranks, rank)
+            rows = align_core(
+                index,
+                shard,
+                read_base=int(bounds[rank]),
+                profile=prof,
+                **aln_params,
+            )
+        finally:
+            for seg in segs:
+                seg.close()
+        aln_stats[rank, 0] = rows.n_seed_hits
+        aln_stats[rank, 1] = rows.n_reads_aligned
+        t_align = time.perf_counter() - t0
+        prof.add("align", label, t0, t_align)
+
+        t0 = time.perf_counter()
+        wire, dest_counts = group_rows_by_owner(
+            aln_wire_rows(rows), n_ranks
+        )
+        outbox = create_named_shared_array(
+            _aout_name(token, rank), (wire.shape[0], _ALN_COLS), np.int64
+        )
+        if wire.size:
+            outbox[...] = wire
+        counts[rank, :] = dest_counts
+        t_pack = time.perf_counter() - t0
+        prof.add("pack", label, t0, t_pack)
+
+        # Fence: every outbox and counts row is published past this point.
+        barrier.wait(timeout=timeout_s)
+
+        t0 = time.perf_counter()
+        offs = np.zeros(n_ranks + 1, dtype=np.int64)
+        parts: list[np.ndarray] = []
+        attached: list[np.ndarray] = []
+        recv = 0
+        try:
+            for src in range(n_ranks):
+                np.cumsum(counts[src], out=offs[1:])
+                if src == rank:
+                    box = wire  # own outbox: already local
+                else:
+                    box = attach_shared_array(
+                        _aout_name(token, src),
+                        (int(offs[-1]), _ALN_COLS),
+                        np.int64,
+                    )
+                    attached.append(box)
+                mine = np.array(
+                    box[offs[rank] : offs[rank + 1]], dtype=np.int64
+                )
+                parts.append(mine)
+                if src != rank:
+                    recv += len(mine)
+        finally:
+            for box in attached:
+                box.close()
+        inbox = np.concatenate(parts)
+        t_exch = time.perf_counter() - t0
+        prof.add("exchange", label, t0, t_exch)
+
+        t0 = time.perf_counter()
+        # Owner holds ALL rows of its cids; restoring global emission
+        # order (read asc, seq_in_read asc) makes the first-N-per-cid
+        # caps identical to the single-process pass.
+        order = np.lexsort((inbox[:, 1], inbox[:, 0]))
+        inbox = inbox[order]
+        left, right = recruit_flags(
+            rows_from_wire(inbox),
+            batch.lengths(),
+            contig_len_of,
+            max_reads_per_end,
+        )
+        own = np.empty((inbox.shape[0], _ALN_OWN_COLS), dtype=np.int64)
+        own[:, :_ALN_COLS] = inbox
+        own[:, _ALN_COLS] = left
+        own[:, _ALN_COLS + 1] = right
+        ownbox = create_named_shared_array(
+            _aown_name(token, rank), own.shape, np.int64
+        )
+        if own.size:
+            ownbox[...] = own
+        own_counts[rank] = own.shape[0]
+        t_flags = time.perf_counter() - t0
+        prof.add("flags", label, t0, t_flags)
+
+        metrics[rank, _M_WALL] = time.perf_counter() - wall0
+        metrics[rank, _M_CPU] = time.process_time() - cpu0
+        metrics[rank, _M_COUNT] = t_align
+        metrics[rank, _M_PACK] = t_pack
+        metrics[rank, _M_EXCH] = t_exch
+        metrics[rank, _M_MERGE] = t_flags
+        metrics[rank, _M_SENT] = float(
+            int(dest_counts.sum()) - int(dest_counts[rank])
+        )
+        metrics[rank, _M_RECV] = float(recv)
+        if profile_dir is not None:
+            prof.save_json(Path(profile_dir) / f"rank{rank}.json")
+        status[rank] = _STATUS_OK
+    except Exception:
+        traceback.print_exc()
+        status[rank] = _STATUS_FAILED
+        try:
+            barrier.abort()  # wake peers instead of deadlocking them
+        except Exception:
+            pass
+        sys.exit(1)
+
+
+def ranked_align(
+    contigs,
+    reads: ReadBatch,
+    n_ranks: int,
+    seed_len: int = 17,
+    read_seed_stride: int = 8,
+    min_identity: float = 0.9,
+    min_overlap: int = 30,
+    max_reads_per_end: int | None = None,
+    profile: bool = False,
+    timeout_s: float = 120.0,
+    comm: CommCostModel | None = None,
+):
+    """Align *reads* to *contigs* across *n_ranks* real processes.
+
+    Returns ``(AlignmentResult, ExchangeStats, RankRunReport)``.  The
+    result is bit-identical to the single-process
+    :func:`~repro.pipeline.alignment.align_reads` at every rank count;
+    the stats measure the alignment-row shuffle (64-byte rows) and the
+    report carries per-rank :class:`AlnRankMetrics` (align / pack /
+    exchange / flags, the :data:`ALN_RANK_PHASES`).
+
+    Falls back to an in-process run of the identical shard-and-exchange
+    logic when fork/shared memory is unavailable or ``n_ranks == 1``
+    (``report.mode == "inproc"``).
+    """
+    from repro.pipeline.alignment import (
+        MAX_READS_PER_END,
+        PackedSeedIndex,
+        _contig_len_of,
+        materialise_alignment,
+    )
+
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if max_reads_per_end is None:
+        max_reads_per_end = MAX_READS_PER_END
+    comm = comm or CommCostModel()
+    index = PackedSeedIndex(contigs, seed_len=seed_len)
+    contig_len_of = _contig_len_of(contigs)
+    aln_params = {
+        "read_seed_stride": read_seed_stride,
+        "min_identity": min_identity,
+        "min_overlap": min_overlap,
+    }
+    if n_ranks == 1 or not procrank_available():
+        return _ranked_align_inproc(
+            index, contigs, reads, n_ranks, aln_params, contig_len_of,
+            max_reads_per_end, profile, comm,
+        )
+
+    ctx = mp.get_context("fork")
+    token = launch_token()
+    # Register every derivable name *before* forking (and before the
+    # index broadcast is created): if anything below raises, the atexit
+    # sweep still unlinks whatever got created.
+    for fieldname in _IDX_FIELDS:
+        register_launch_segment(token, _idx_name(token, fieldname))
+    for r in range(n_ranks):
+        register_launch_segment(token, _aout_name(token, r))
+        register_launch_segment(token, _aown_name(token, r))
+
+    counts = own_counts = aln_stats = metrics = status = None
+    profile_dir = None
+    wall0 = time.perf_counter()
+    procs = []
+    try:
+        idx_meta, idx_segs = _publish_index(token, index)
+        counts = create_shared_array((n_ranks, n_ranks), np.int64)
+        own_counts = create_shared_array((n_ranks,), np.int64)
+        aln_stats = create_shared_array((n_ranks, 2), np.int64)
+        metrics = create_shared_array((n_ranks, _N_METRICS), np.float64)
+        status = create_shared_array((n_ranks,), np.int64)
+        barrier = ctx.Barrier(n_ranks)
+        if profile:
+            profile_dir = tempfile.mkdtemp(prefix="repro-alnprof-")
+
+        for r in range(n_ranks):
+            p = ctx.Process(
+                target=_aln_rank_main,
+                args=(
+                    r, reads, n_ranks, token, idx_meta, seed_len,
+                    aln_params, contig_len_of, max_reads_per_end,
+                    counts, own_counts, aln_stats, metrics, status,
+                    barrier, timeout_s, profile_dir,
+                ),
+                name=f"repro-aln-rank{r}",
+            )
+            p.start()
+            procs.append(p)
+        deadline = time.monotonic() + timeout_s * 2
+        for p in procs:
+            p.join(timeout=max(0.1, deadline - time.monotonic()))
+        alive = [p.name for p in procs if p.is_alive()]
+        if alive:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
+            raise TimeoutError(f"alignment ranks hung past timeout: {alive}")
+        bad = [
+            (p.name, p.exitcode, int(status[i]))
+            for i, p in enumerate(procs)
+            if p.exitcode != 0 or int(status[i]) != _STATUS_OK
+        ]
+        if bad:
+            raise RuntimeError(f"alignment ranks failed: {bad}")
+
+        parts = []
+        shards = []
+        try:
+            for r in range(n_ranks):
+                nrow = int(own_counts[r])
+                shard = attach_shared_array(
+                    _aown_name(token, r), (nrow, _ALN_OWN_COLS), np.int64
+                )
+                shards.append(shard)
+                parts.append(np.array(shard))
+        finally:
+            for shard in shards:
+                shard.close()
+        merged = np.concatenate(parts)
+        order = np.lexsort((merged[:, 1], merged[:, 0]))
+        merged = merged[order]
+        rows = rows_from_wire(
+            merged[:, :_ALN_COLS],
+            n_seed_hits=int(aln_stats[:, 0].sum()),
+            n_reads_aligned=int(aln_stats[:, 1].sum()),
+        )
+        aln = materialise_alignment(
+            rows,
+            contigs,
+            reads,
+            max_reads_per_end,
+            recruit_left=merged[:, _ALN_COLS].astype(bool),
+            recruit_right=merged[:, _ALN_COLS + 1].astype(bool),
+        )
+        stats = _aln_stats_from_counts(np.array(counts), comm)
+        per_rank = [
+            AlnRankMetrics(
+                rank=r,
+                wall_s=float(metrics[r, _M_WALL]),
+                cpu_s=float(metrics[r, _M_CPU]),
+                align_s=float(metrics[r, _M_COUNT]),
+                pack_s=float(metrics[r, _M_PACK]),
+                exchange_s=float(metrics[r, _M_EXCH]),
+                flags_s=float(metrics[r, _M_MERGE]),
+                sent_rows=int(metrics[r, _M_SENT]),
+                recv_rows=int(metrics[r, _M_RECV]),
+            )
+            for r in range(n_ranks)
+        ]
+        report = RankRunReport(
+            n_ranks=n_ranks,
+            mode="procrank",
+            wall_s=time.perf_counter() - wall0,
+            per_rank=per_rank,
+        )
+        if profile_dir is not None:
+            report.profiles = _load_rank_profiles(profile_dir, n_ranks)
+        result = (aln, stats, report)
+    finally:
+        cleanup_launch_segments(token)
+        for arr in (counts, own_counts, aln_stats, metrics, status):
+            if arr is not None:
+                arr.unlink()
+        if profile_dir is not None:
+            shutil.rmtree(profile_dir, ignore_errors=True)
+    return result
+
+
+def _ranked_align_inproc(
+    index,
+    contigs,
+    reads: ReadBatch,
+    n_ranks: int,
+    aln_params: dict,
+    contig_len_of: np.ndarray,
+    max_reads_per_end: int,
+    profile: bool,
+    comm: CommCostModel,
+):
+    """The identical shard/exchange/flags logic run sequentially in one
+    process — the ``n_ranks == 1`` path, the fallback when fork/shared
+    memory is unavailable, and the reference the property tests drive."""
+    from repro.pipeline.alignment import (
+        align_core,
+        materialise_alignment,
+        recruit_flags,
+    )
+
+    wall0 = time.perf_counter()
+    counts = np.zeros((n_ranks, n_ranks), dtype=np.int64)
+    outboxes: list[np.ndarray] = []
+    profs = [HostProfiler(enabled=profile) for _ in range(n_ranks)]
+    timings: list[dict] = []
+    n_seed_hits = 0
+    n_reads_aligned = 0
+    bounds = _partition_bounds(reads, n_ranks)
+    read_lengths = reads.lengths()
+    for r in range(n_ranks):
+        c0, t0 = time.process_time(), time.perf_counter()
+        shard = partition_part(reads, n_ranks, r)
+        rows = align_core(
+            index, shard, read_base=int(bounds[r]), profile=profs[r],
+            **aln_params,
+        )
+        t_align = time.perf_counter() - t0
+        profs[r].add("align", f"rank{r}", t0, t_align)
+        t0 = time.perf_counter()
+        wire, dest_counts = group_rows_by_owner(aln_wire_rows(rows), n_ranks)
+        counts[r, :] = dest_counts
+        outboxes.append(wire)
+        n_seed_hits += rows.n_seed_hits
+        n_reads_aligned += rows.n_reads_aligned
+        t_pack = time.perf_counter() - t0
+        profs[r].add("pack", f"rank{r}", t0, t_pack)
+        timings.append(
+            {"align": t_align, "pack": t_pack,
+             "cpu": time.process_time() - c0,
+             "sent": int(dest_counts.sum()) - int(dest_counts[r])}
+        )
+
+    t0 = time.perf_counter()
+    inbox_parts: list[list[np.ndarray]] = [[] for _ in range(n_ranks)]
+    for src, wire in enumerate(outboxes):
+        offs = np.zeros(n_ranks + 1, dtype=np.int64)
+        np.cumsum(counts[src], out=offs[1:])
+        for dest in range(n_ranks):
+            inbox_parts[dest].append(wire[offs[dest] : offs[dest + 1]])
+    t_exch_all = time.perf_counter() - t0
+
+    per_rank: list[AlnRankMetrics] = []
+    own_parts: list[np.ndarray] = []
+    for r in range(n_ranks):
+        c0, t0 = time.process_time(), time.perf_counter()
+        profs[r].add("exchange", f"rank{r}", t0, t_exch_all / n_ranks)
+        inbox = np.concatenate(inbox_parts[r])
+        order = np.lexsort((inbox[:, 1], inbox[:, 0]))
+        inbox = inbox[order]
+        left, right = recruit_flags(
+            rows_from_wire(inbox), read_lengths, contig_len_of,
+            max_reads_per_end,
+        )
+        own = np.empty((inbox.shape[0], _ALN_OWN_COLS), dtype=np.int64)
+        own[:, :_ALN_COLS] = inbox
+        own[:, _ALN_COLS] = left
+        own[:, _ALN_COLS + 1] = right
+        own_parts.append(own)
+        t_flags = time.perf_counter() - t0
+        profs[r].add("flags", f"rank{r}", t0, t_flags)
+        recv = int(counts[:, r].sum()) - int(counts[r, r])
+        per_rank.append(
+            AlnRankMetrics(
+                rank=r,
+                wall_s=timings[r]["align"] + timings[r]["pack"]
+                + t_exch_all / n_ranks + t_flags,
+                cpu_s=timings[r]["cpu"] + (time.process_time() - c0),
+                align_s=timings[r]["align"],
+                pack_s=timings[r]["pack"],
+                exchange_s=t_exch_all / n_ranks,
+                flags_s=t_flags,
+                sent_rows=timings[r]["sent"],
+                recv_rows=recv,
+            )
+        )
+
+    merged = np.concatenate(own_parts)
+    order = np.lexsort((merged[:, 1], merged[:, 0]))
+    merged = merged[order]
+    rows = rows_from_wire(
+        merged[:, :_ALN_COLS],
+        n_seed_hits=n_seed_hits,
+        n_reads_aligned=n_reads_aligned,
+    )
+    aln = materialise_alignment(
+        rows,
+        contigs,
+        reads,
+        max_reads_per_end,
+        recruit_left=merged[:, _ALN_COLS].astype(bool),
+        recruit_right=merged[:, _ALN_COLS + 1].astype(bool),
+    )
+    stats = _aln_stats_from_counts(counts, comm)
+    report = RankRunReport(
+        n_ranks=n_ranks,
+        mode="inproc",
+        wall_s=time.perf_counter() - wall0,
+        per_rank=per_rank,
+        profiles=[p.to_json() for p in profs] if profile else None,
+    )
+    return aln, stats, report

@@ -40,10 +40,23 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-__all__ = ["PHASES", "PhaseRecord", "HostProfiler", "merge_rank_profiles"]
+__all__ = ["PHASES", "ALN_PHASES", "PhaseRecord", "HostProfiler", "merge_rank_profiles"]
 
 #: the host-path phases, in pipeline order.
 PHASES = ("stage", "upload", "dispatch", "unpack", "free")
+
+#: the batched aligner's phases (:func:`repro.pipeline.alignment.align_core`),
+#: in pipeline order — seed windowing/packing, seed-table lookup, hit-range
+#: expansion + encounter ordering, diagonal dedup, batch scoring, winner
+#: selection.
+ALN_PHASES = (
+    "aln_seed",
+    "aln_lookup",
+    "aln_expand",
+    "aln_dedup",
+    "aln_score",
+    "aln_select",
+)
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["AlnScore", "ungapped_align", "smith_waterman_banded", "SWResult"]
+__all__ = [
+    "AlnScore",
+    "ungapped_align",
+    "ungapped_align_batch",
+    "smith_waterman_banded",
+    "SWResult",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,57 @@ def ungapped_align(
     return AlnScore(offset, ov_start, ov_end, matches, c.size - matches)
 
 
+def ungapped_align_batch(
+    contig_bases: np.ndarray,
+    contig_off: np.ndarray,
+    read_bases: np.ndarray,
+    read_off: np.ndarray,
+    cseq: np.ndarray,
+    rseq: np.ndarray,
+    offset: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Score many (contig, read, diagonal) candidates in one pass.
+
+    Batch form of :func:`ungapped_align`.  Sequences live concatenated:
+    contig *c* spans ``contig_bases[contig_off[c]:contig_off[c+1]]`` and
+    read *r* spans ``read_bases[read_off[r]:read_off[r+1]]`` (for the
+    aligner, "read" rows are oriented — forward and reverse-complement
+    copies are separate rows).  Candidate *i* aligns read ``rseq[i]``
+    against contig ``cseq[i]`` with read base 0 anchored at contig
+    coordinate ``offset[i]``.
+
+    Returns ``(ov_start, ov_end, matches)`` per candidate, with the exact
+    clamping semantics of the scalar kernel (``ov_end <= ov_start`` rows
+    report ``ov_end == ov_start`` and 0 matches).  The inner per-segment
+    comparison runs through :func:`repro.gpusim._fastops.segment_match_counts`,
+    which compiles under ``REPRO_NUMBA`` and falls back to a cumsum-offset
+    NumPy gather otherwise.
+    """
+    from repro.gpusim._fastops import segment_match_counts
+
+    cseq = np.asarray(cseq, dtype=np.int64)
+    rseq = np.asarray(rseq, dtype=np.int64)
+    offset = np.asarray(offset, dtype=np.int64)
+    contig_off = np.asarray(contig_off, dtype=np.int64)
+    read_off = np.asarray(read_off, dtype=np.int64)
+
+    clen = contig_off[cseq + 1] - contig_off[cseq]
+    rlen = read_off[rseq + 1] - read_off[rseq]
+    ov_start = np.maximum(offset, 0)
+    ov_end = np.minimum(offset + rlen, clen)
+    span = np.maximum(ov_end - ov_start, 0)
+    # Degenerate overlaps report [ov_start, ov_start) like the scalar path.
+    ov_end = ov_start + span
+    matches = segment_match_counts(
+        contig_bases,
+        read_bases,
+        contig_off[cseq] + ov_start,
+        read_off[rseq] + (ov_start - offset),
+        span,
+    )
+    return ov_start, ov_end, matches
+
+
 @dataclass(frozen=True)
 class SWResult:
     """Banded Smith-Waterman outcome."""
@@ -92,16 +149,20 @@ def smith_waterman_banded(
     n, m = a.size, b.size
     if n == 0 or m == 0:
         return SWResult(0, 0, 0)
-    prev = np.zeros(m + 1, dtype=np.int32)
+    # Two DP rows, allocated once and swapped — the per-row np.zeros /
+    # np.zeros_like of the original formulation dominated small-band runs.
+    rows = np.zeros((2, m + 1), dtype=np.int32)
+    prev, cur = rows[0], rows[1]
     best, best_i, best_j = 0, 0, 0
     for i in range(1, n + 1):
         lo = max(1, i - band)
         hi = min(m, i + band)
-        cur = np.zeros(m + 1, dtype=np.int32)
+        cur.fill(0)
         sub = np.where(b[lo - 1 : hi] == a[i - 1], match, mismatch).astype(np.int32)
         diag = prev[lo - 1 : hi] + sub
         up = prev[lo : hi + 1] + gap
-        h = np.maximum.reduce([diag, up, np.zeros_like(diag)])
+        h = np.maximum(diag, up)
+        np.maximum(h, 0, out=h)
         # left-gap relaxation (two passes handle the common short gaps)
         for _ in range(2):
             left = np.concatenate(([prev[lo - 1]], h[:-1])) + gap
@@ -112,5 +173,5 @@ def smith_waterman_banded(
             best = row_best
             best_i = i
             best_j = lo + int(np.argmax(h))
-        prev = cur
+        prev, cur = cur, prev
     return SWResult(best, best_i, best_j)

@@ -22,6 +22,7 @@ import numpy as np
 from repro.pipeline.contigs import Contig, ContigSet
 from repro.pipeline.kmer_analysis import ClassifiedKmers, ExtVerdict
 from repro.sequence.dna import BASES, revcomp
+from repro.sequence.kmer import unpack_kmers
 
 __all__ = ["generate_contigs", "KmerGraph"]
 
@@ -44,21 +45,32 @@ class KmerGraph:
         # Vectorised unpack of every canonical k-mer (and its revcomp) to
         # strings, then one dict keyed by string -> (row, is_rc).  Odd k
         # guarantees no k-mer equals its own revcomp, so keys are unique.
-        codes = np.empty((n, k), dtype=np.uint8)
-        for j in range(k):
-            w = j // 32
-            shift = np.uint64(62 - 2 * (j % 32))
-            codes[:, j] = (spec.words[:, w] >> shift).astype(np.uint8) & np.uint8(3)
+        # Each (n, k) base matrix is viewed as n fixed-width byte strings
+        # and decoded in one pass — no per-row Python slicing.
         from repro.sequence.dna import CODE_TO_BASE
 
-        fwd_text = CODE_TO_BASE[codes].tobytes().decode("ascii")
+        codes = unpack_kmers(spec.words, k)
         rc_codes = (3 - codes[:, ::-1]).astype(np.uint8)
-        rc_text = CODE_TO_BASE[rc_codes].tobytes().decode("ascii")
-        index: dict[str, tuple[int, bool]] = {}
-        for i in range(n):
-            index[fwd_text[i * k : (i + 1) * k]] = (i, False)
-            index[rc_text[i * k : (i + 1) * k]] = (i, True)
+
+        def _rows_to_strs(mat: np.ndarray) -> list[str]:
+            raw = np.ascontiguousarray(CODE_TO_BASE[mat]).view(f"S{k}")
+            return np.char.decode(raw.ravel(), "ascii").tolist()
+
+        fwd_strs = _rows_to_strs(codes)
+        rc_strs = _rows_to_strs(rc_codes)
+        index: dict[str, tuple[int, bool]] = dict(
+            zip(fwd_strs, ((i, False) for i in range(n)))
+        )
+        index.update(zip(rc_strs, ((i, True) for i in range(n))))
         self._index = index
+        #: Cached canonical strings, row-indexed — seeds of
+        #: :func:`generate_contigs` reuse these instead of re-unpacking
+        #: through ``spec.kmer`` one Python word-loop at a time.
+        self._fwd_strs = fwd_strs
+
+    def kmer_str(self, row: int) -> str:
+        """Canonical k-mer string of *row* (cached, no per-call unpack)."""
+        return self._fwd_strs[row]
 
     def __len__(self) -> int:
         return len(self._index) // 2
@@ -167,7 +179,7 @@ def generate_contigs(
         if visited[seed_row]:
             continue
         visited[seed_row] = True
-        seed = spec.kmer(int(seed_row))
+        seed = graph.kmer_str(int(seed_row))
         right_str, right_rows = _walk_right(graph, seed, int(seed_row), False, visited)
         # Walk left = walk right from the reverse complement.
         left_str, left_rows = _walk_right(graph, revcomp(seed), int(seed_row), True, visited)

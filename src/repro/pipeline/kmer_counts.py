@@ -25,7 +25,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sequence.dna import N_CODE, revcomp_codes
-from repro.sequence.kmer import pack_kmers, unpack_kmer, words_per_kmer
+from repro.sequence.kmer import (
+    pack_kmers,
+    searchsorted_rows,
+    unpack_kmer,
+    words_per_kmer,
+)
 from repro.sequence.read import ReadBatch
 
 __all__ = ["KmerSpectrum", "count_kmers", "NO_EXT"]
@@ -78,30 +83,26 @@ class KmerSpectrum:
         )
 
     def lookup(self, words: np.ndarray) -> int:
-        """Row index of a packed canonical k-mer, or -1 if absent.
-
-        Binary search over the sorted rows; O(words_per_kmer * log n).
-        """
+        """Row index of a packed canonical k-mer, or -1 if absent."""
         words = np.asarray(words, dtype=np.uint64).ravel()
-        lo, hi = 0, len(self)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            row = self.words[mid]
-            cmp = 0
-            for a, b in zip(row, words):
-                if a < b:
-                    cmp = -1
-                    break
-                if a > b:
-                    cmp = 1
-                    break
-            if cmp == 0:
-                return mid
-            if cmp < 0:
-                lo = mid + 1
-            else:
-                hi = mid
-        return -1
+        return int(self.lookup_many(words[None, :])[0])
+
+    def lookup_many(self, words: np.ndarray) -> np.ndarray:
+        """Row indices of ``(n, nw)`` packed k-mers, -1 where absent.
+
+        One vectorised ``searchsorted`` over the whole query block
+        (multi-word rows compared via big-endian byte keys) instead of a
+        Python-loop binary search per query.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        if words.ndim == 1:
+            words = words[None, :]
+        if len(self) == 0 or words.shape[0] == 0:
+            return np.full(words.shape[0], -1, dtype=np.int64)
+        idx = searchsorted_rows(self.words, words)
+        idx = np.minimum(idx, len(self) - 1)
+        hit = np.all(self.words[idx] == words, axis=1)
+        return np.where(hit, idx, -1).astype(np.int64)
 
 
 def _read_ids(batch: ReadBatch) -> np.ndarray:

@@ -57,6 +57,12 @@ class PipelineConfig:
     read_seed_stride: int = 8
     min_identity: float = 0.9
     min_overlap: int = 30
+    #: process ranks for the alignment stage (1 = single-process batched
+    #: aligner; >1 shards reads over forked ranks that share the seed
+    #: index through broadcast shared-memory segments and exchange
+    #: winner rows by contig owner — bit-identical AlignmentResult, so
+    #: local assembly and scaffolding are unaffected)
+    aln_ranks: int = 1
     # local assembly
     local_assembly: LocalAssemblyConfig = field(default_factory=LocalAssemblyConfig)
     local_assembly_mode: str = "cpu"  # "cpu" | "gpu"
@@ -101,6 +107,8 @@ class PipelineConfig:
             raise ValueError("local_assembly_mode must be 'cpu' or 'gpu'")
         if self.kmer_ranks < 1:
             raise ValueError("kmer_ranks must be >= 1")
+        if self.aln_ranks < 1:
+            raise ValueError("aln_ranks must be >= 1")
         from repro.sanitize.rankcheck import RANK_SANITIZE_MODES
 
         if self.kmer_sanitize not in RANK_SANITIZE_MODES:
@@ -173,6 +181,36 @@ class AssemblyResult:
         lines.append("stage times:")
         lines.append(str(self.times))
         return "\n".join(lines)
+
+
+def _align_stage(
+    contigs: ContigSet, reads: ReadBatch, config: PipelineConfig
+) -> AlignmentResult:
+    """One alignment pass, routed through the ranked exchange when the
+    config asks for it (output is bit-identical either way)."""
+    if config.aln_ranks > 1:
+        from repro.distributed.procrank import ranked_align
+
+        aln, _, _ = ranked_align(
+            contigs,
+            reads,
+            config.aln_ranks,
+            seed_len=config.seed_len,
+            read_seed_stride=config.read_seed_stride,
+            min_identity=config.min_identity,
+            min_overlap=config.min_overlap,
+            max_reads_per_end=config.local_assembly.max_reads_per_end,
+        )
+        return aln
+    return align_reads(
+        contigs,
+        reads,
+        seed_len=config.seed_len,
+        read_seed_stride=config.read_seed_stride,
+        min_identity=config.min_identity,
+        min_overlap=config.min_overlap,
+        max_reads_per_end=config.local_assembly.max_reads_per_end,
+    )
 
 
 def _contigs_as_pseudo_reads(contigs: ContigSet) -> ReadBatch:
@@ -270,15 +308,7 @@ def run_pipeline(
                 save_contigs_checkpoint(checkpoint_dir, contigs, ckpt_key, n_distinct)
 
     with times.stage("alignment"):
-        aln = align_reads(
-            contigs,
-            reads,
-            seed_len=config.seed_len,
-            read_seed_stride=config.read_seed_stride,
-            min_identity=config.min_identity,
-            min_overlap=config.min_overlap,
-            max_reads_per_end=config.local_assembly.max_reads_per_end,
-        )
+        aln = _align_stage(contigs, reads, config)
 
     with times.stage("local assembly"):
         extended, la_report = extend_contigs(
@@ -303,15 +333,7 @@ def run_pipeline(
         # Re-align against the extended contigs: local assembly shifted
         # coordinates, and scaffolding needs accurate end distances.
         with times.stage("alignment"):
-            aln2 = align_reads(
-                extended,
-                reads,
-                seed_len=config.seed_len,
-                read_seed_stride=config.read_seed_stride,
-                min_identity=config.min_identity,
-                min_overlap=config.min_overlap,
-                max_reads_per_end=config.local_assembly.max_reads_per_end,
-            )
+            aln2 = _align_stage(extended, reads, config)
         with times.stage("scaffolding"):
             best = aln2.best_by_read()
             insert_mean = config.insert_mean

@@ -39,6 +39,9 @@ __all__ = [
     "pack_kmers",
     "pack_kmer",
     "unpack_kmer",
+    "unpack_kmers",
+    "rows_as_keys",
+    "searchsorted_rows",
     "count_distinct_kmers",
 ]
 
@@ -98,10 +101,15 @@ def valid_kmer_mask(codes: np.ndarray, k: int) -> np.ndarray:
     n_win = codes.size - k + 1
     if n_win <= 0:
         return np.zeros(0, dtype=bool)
-    is_n = (codes >= N_CODE).astype(np.int64)
-    csum = np.concatenate(([0], np.cumsum(is_n)))
-    # Window starting at i spans codes[i:i+k]; valid iff zero Ns inside.
-    return (csum[k:] - csum[:-k]) == 0
+    is_n = codes >= N_CODE
+    if not is_n.any():
+        return np.ones(n_win, dtype=bool)
+    csum = np.cumsum(is_n, dtype=np.int32)
+    # Window starting at i spans codes[i:i+k]; valid iff zero Ns inside:
+    # csum[i+k-1] - csum[i-1] == 0 (with csum[-1] taken as 0).
+    out = csum[k - 1 :].copy()
+    out[1:] -= csum[: n_win - 1]
+    return out == 0
 
 
 def words_per_kmer(k: int) -> int:
@@ -127,6 +135,8 @@ def pack_kmers(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     nw = words_per_kmer(k)
     if n_win <= 0:
         return np.empty((0, nw), dtype=np.uint64), np.zeros(0, dtype=bool)
+    if nw == 1:
+        return _pack_windows_1w(codes, k)[:, None], valid_kmer_mask(codes, k)
     win = kmer_window(codes, k)  # (n_win, k) view
     words = np.zeros((n_win, nw), dtype=np.uint64)
     # Column-at-a-time packing: one small temp per base position instead of
@@ -139,6 +149,42 @@ def pack_kmers(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         np.minimum(col, 3, out=col)
         words[:, w] |= col << shift
     return words, valid_kmer_mask(codes, k)
+
+
+def _pack_windows_1w(codes: np.ndarray, k: int) -> np.ndarray:
+    """Single-word (k ≤ 32) window packing by length doubling.
+
+    Builds packed windows of length 1, 2, 4, … by OR-combining shifted
+    neighbours, then assembles length *k* from its binary decomposition —
+    O(log k) array passes instead of the k column passes of the generic
+    path.  Output matches the generic layout exactly (base 0 in the most
+    significant bits); N codes are sanitised to 0, as in the generic path.
+    """
+    n_win = codes.size - k + 1
+    v = np.minimum(codes, 3).astype(np.uint64)
+    powers: list[tuple[int, np.ndarray]] = [(1, v)]
+    length = 1
+    while length * 2 <= k:
+        nxt = v[: v.size - length] << np.uint64(2 * length)
+        nxt |= v[length:]
+        v = nxt
+        length *= 2
+        powers.append((length, v))
+    res: np.ndarray | None = None
+    covered = 0
+    for length, arr in reversed(powers):
+        if covered + length > k:
+            continue
+        chunk = arr[covered : covered + n_win]
+        if res is None:
+            res = chunk.copy()
+        else:
+            res <<= np.uint64(2 * length)
+            res |= chunk
+        covered += length
+    assert res is not None and covered == k
+    res <<= np.uint64(64 - 2 * k)
+    return res
 
 
 def pack_kmer(kmer: str) -> np.ndarray:
@@ -159,6 +205,51 @@ def unpack_kmer(words: np.ndarray, k: int) -> str:
         shift = np.uint64(62 - 2 * (j % 32))
         codes[j] = np.uint8((words[w] >> shift) & np.uint64(3))
     return decode(codes)
+
+
+def unpack_kmers(words: np.ndarray, k: int) -> np.ndarray:
+    """Unpack ``(n, words_per_kmer(k))`` packed rows to ``(n, k)`` codes.
+
+    Vectorised inverse of :func:`pack_kmers` for valid (N-free) rows; the
+    per-row loop of :func:`unpack_kmer` is O(k) Python per call, this is
+    O(k) NumPy column passes total.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim == 1:
+        words = words[None, :]
+    n = words.shape[0]
+    codes = np.empty((n, k), dtype=np.uint8)
+    for j in range(k):
+        w = j // 32
+        shift = np.uint64(62 - 2 * (j % 32))
+        codes[:, j] = ((words[:, w] >> shift) & np.uint64(3)).astype(np.uint8)
+    return codes
+
+
+def rows_as_keys(words: np.ndarray) -> np.ndarray:
+    """Collapse ``(n, nw)`` uint64 rows into one sortable key per row.
+
+    For single-word rows this is a plain ``uint64`` view (no copy).  For
+    multi-word rows each row is re-laid-out big-endian and viewed as a
+    fixed-width ``S{8*nw}`` byte string: NumPy compares ``S`` keys by
+    memcmp, which on big-endian words equals row-lexicographic uint64
+    order — so the keys sort (and equality-compare) exactly like the
+    original rows, enabling 1-D ``searchsorted`` over multi-word k-mers.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim == 1:
+        words = words[None, :]
+    nw = words.shape[1]
+    if nw == 1:
+        return words[:, 0]
+    be = np.ascontiguousarray(words).astype(">u8")
+    return be.view(f"S{8 * nw}").ravel()
+
+
+def searchsorted_rows(table: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Row-wise ``searchsorted``: left insertion points of *queries* rows
+    into the lexicographically sorted ``(n, nw)`` *table* rows."""
+    return np.searchsorted(rows_as_keys(table), rows_as_keys(queries))
 
 
 def count_distinct_kmers(seq: str, k: int, canonicalise: bool = False) -> int:

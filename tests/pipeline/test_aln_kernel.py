@@ -80,3 +80,48 @@ class TestSmithWaterman:
         b = encode("GGGGGGGG" + core)
         res = smith_waterman_banded(a, b, band=6)
         assert res.score >= 28  # the shared core dominates
+
+
+class TestSmithWatermanGapRegression:
+    """Pinned scores for gap-bearing cases.
+
+    The two-preallocated-row rewrite must score exactly what the
+    per-row-allocating original did; these literals were captured from
+    the original formulation and hold the recurrence (linear gap -2,
+    two-pass left relaxation) fixed.
+    """
+
+    @pytest.mark.parametrize(
+        "a,b,band,expect",
+        [
+            # perfect 20-mer: all matches
+            ("ACGTACGTACGTACGTACGT", "ACGTACGTACGTACGTACGT", 16,
+             (20, 20, 20)),
+            # one base inserted in b at position 10: 20 matches - 1 gap
+            ("ACGTACGTACGTACGTACGT", "ACGTACGTACTGTACGTACGT", 16,
+             (18, 20, 21)),
+            # deletion at b's end: local alignment simply ends earlier
+            ("ACGTACGTACGTACGTACGT", "ACGTACGTACGTACGTACG", 16,
+             (19, 19, 19)),
+            # one base inserted in a (gap in the other sequence)
+            ("ACGTACGTACGGTACGTACGT", "ACGTACGTACGTACGTACGT", 16,
+             (18, 21, 20)),
+            # mid-sequence indel with trailing divergence
+            ("ACGTAACCGGTTACGTACGT", "ACGTAACCGGACGTACGTAA", 16,
+             (14, 20, 18)),
+            # two-base insertion: 16 matches - 2 gaps * 2
+            ("AAAACCCCGGGGTTTT", "AAAACCCCTTGGGGTTTT", 8,
+             (12, 16, 18)),
+        ],
+    )
+    def test_pinned_scores(self, a, b, band, expect):
+        res = smith_waterman_banded(encode(a), encode(b), band=band)
+        assert (res.score, res.end_a, res.end_b) == expect
+
+    def test_rows_not_shared_between_calls(self):
+        # two consecutive calls must not see each other's DP state
+        a = encode("ACGTACGTACGTACGT")
+        first = smith_waterman_banded(a, a)
+        smith_waterman_banded(encode("TTTTGGGG"), encode("CCCCAAAA"))
+        again = smith_waterman_banded(a, a)
+        assert first == again

@@ -95,6 +95,55 @@ class TestCounting:
         assert spectrum_as_dict(spec) == dict(naive_counts(seqs, k))
 
 
+class TestLookupMany:
+    def test_matches_per_row_lookup(self):
+        b = ReadBatch.from_strings(["ACGTACGGTTAACGGATC", "TTGGCCAATT"])
+        spec = count_kmers(b, 5)
+        queries = spec.words[::2]
+        got = spec.lookup_many(queries)
+        expect = np.array(
+            [spec.lookup(q) for q in queries], dtype=np.int64
+        )
+        assert got.dtype == np.int64
+        assert np.array_equal(got, expect)
+
+    def test_absent_rows_are_minus_one(self):
+        from repro.sequence.kmer import pack_kmer
+
+        spec = count_kmers(ReadBatch.from_strings(["ACGTACGGT"]), 5)
+        present = spec.words[0]
+        absent = np.asarray(pack_kmer("GGGGG"), dtype=np.uint64).reshape(
+            present.shape
+        )
+        if spec.lookup(absent) != -1:
+            pytest.skip("probe k-mer happens to be present")
+        got = spec.lookup_many(np.stack([present, absent, present]))
+        assert got[0] == 0 and got[2] == 0 and got[1] == -1
+
+    def test_empty_spectrum_and_empty_query(self):
+        spec = count_kmers(ReadBatch.from_strings(["AC"]), 21)
+        assert len(spec) == 0
+        got = spec.lookup_many(np.zeros((3, 1), dtype=np.uint64))
+        assert np.array_equal(got, np.full(3, -1, dtype=np.int64))
+        full = count_kmers(ReadBatch.from_strings(["ACGTACG"]), 3)
+        nw = full.words.shape[1]
+        assert full.lookup_many(np.zeros((0, nw), dtype=np.uint64)).size == 0
+
+    def test_multi_word_kmers(self):
+        # k=33 packs into two 64-bit words per row
+        b = ReadBatch.from_strings(["ACGTACGGTTAACGGATCCATGGCAATCGGATCCAT"])
+        spec = count_kmers(b, 33)
+        assert spec.words.shape[1] == 2
+        got = spec.lookup_many(spec.words)
+        assert np.array_equal(got, np.arange(len(spec), dtype=np.int64))
+
+    def test_one_dim_input_promoted(self):
+        spec = count_kmers(ReadBatch.from_strings(["ACGTACGGT"]), 5)
+        flat = spec.words[1]  # 1-D row
+        got = spec.lookup_many(flat)
+        assert got.shape == (1,) and got[0] == 1
+
+
 class TestExtensions:
     def test_extension_tallies(self):
         # AAC is canonical; in "AACG" it is followed by G and preceded by
